@@ -1,0 +1,477 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (§IV) and the ablations DESIGN.md
+// calls out. Each benchmark reports the headline quantities as custom
+// metrics so `go test -bench=. -benchmem` doubles as the experiment
+// driver; `cmd/esprun` prints the same artifacts in full.
+package main
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/esp"
+	"repro/internal/experiments"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/quadflow"
+	"repro/internal/rms"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// BenchmarkTable1Workload generates the dynamic ESP job mix of
+// Table I (230 jobs, 69 evolving) with its submission schedule.
+func BenchmarkTable1Workload(b *testing.B) {
+	var total, evolving int
+	for i := 0; i < b.N; i++ {
+		w := esp.Generate(esp.DefaultOpts())
+		total, evolving, _ = w.Counts()
+	}
+	b.ReportMetric(float64(total), "jobs")
+	b.ReportMetric(float64(evolving), "evolving")
+}
+
+// benchESP runs one ESP configuration per iteration and reports the
+// Table II quantities for it.
+func benchESP(b *testing.B, cfg experiments.ESPConfig) {
+	var last *experiments.ESPResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunESP(cfg, esp.DefaultOpts())
+	}
+	b.ReportMetric(last.Summary.MakespanMinutes, "makespan-min")
+	b.ReportMetric(float64(last.Summary.SatisfiedDynJobs), "satisfied")
+	b.ReportMetric(last.Summary.UtilizationPct, "util-%")
+	b.ReportMetric(last.Summary.ThroughputJPM, "jobs/min")
+}
+
+// BenchmarkTable2Configs regenerates Table II: the full dynamic ESP
+// workload under each of the paper's four configurations.
+func BenchmarkTable2Configs(b *testing.B) {
+	for _, cfg := range experiments.StandardConfigs() {
+		b.Run(cfg.Name, func(b *testing.B) { benchESP(b, cfg) })
+	}
+}
+
+// BenchmarkFig1Scenario times one extended scheduler iteration on the
+// paper's motivating example (Fig. 1): a dynamic request whose grant
+// would delay a queued job by four hours.
+func BenchmarkFig1Scenario(b *testing.B) {
+	var delay sim.Duration
+	for i := 0; i < b.N; i++ {
+		cl := cluster.New(6, 1)
+		a := &job.Job{ID: 1, Cred: job.Credentials{User: "ua"}, Class: job.Evolving, Cores: 2, Walltime: 8 * sim.Hour}
+		bj := &job.Job{ID: 2, Cred: job.Credentials{User: "ub"}, Cores: 2, Walltime: 4 * sim.Hour}
+		cj := &job.Job{ID: 3, Cred: job.Credentials{User: "uc"}, Cores: 4, Walltime: 4 * sim.Hour, SubmitTime: sim.Hour, State: job.Queued}
+		rm := newBenchRM(cl)
+		rm.run(a)
+		rm.run(bj)
+		rm.queued = append(rm.queued, cj)
+		rm.dyn = append(rm.dyn, &job.DynRequest{Job: a, Cores: 2, IssuedAt: sim.Hour})
+		a.State = job.DynQueued
+		s := core.New(core.Options{}, 0)
+		res := s.Iterate(sim.Hour, rm)
+		delay = res.DynDecisions[0].Delays[0].Delay
+	}
+	b.ReportMetric(sim.SecondsOf(delay)/3600, "delay-hours")
+}
+
+// BenchmarkFig7Quadflow regenerates the Quadflow execution-time
+// comparison: static 16, static 32 and dynamic 16→32 for both cases.
+func BenchmarkFig7Quadflow(b *testing.B) {
+	for _, c := range quadflow.Cases() {
+		b.Run(c.Name, func(b *testing.B) {
+			var runs [3]quadflow.RunResult
+			for i := 0; i < b.N; i++ {
+				runs = quadflow.Fig7(c, 16, 500*sim.Millisecond)
+			}
+			b.ReportMetric(sim.SecondsOf(runs[0].Total)/3600, "static16-h")
+			b.ReportMetric(sim.SecondsOf(runs[1].Total)/3600, "static32-h")
+			b.ReportMetric(sim.SecondsOf(runs[2].Total)/3600, "dynamic-h")
+			b.ReportMetric(quadflow.Savings(runs[0], runs[2])*100, "saving-%")
+		})
+	}
+}
+
+// waitSeriesBench runs the configurations a waiting-time figure needs
+// and reports how many jobs the dynamic run delays vs the static one.
+func waitSeriesBench(b *testing.B, idx ...int) {
+	cfgs := experiments.StandardConfigs()
+	var results []*experiments.ESPResult
+	for i := 0; i < b.N; i++ {
+		results = results[:0]
+		for _, k := range idx {
+			results = append(results, experiments.RunESP(cfgs[k], esp.DefaultOpts()))
+		}
+	}
+	static := results[0].Recorder.WaitSeries()
+	last := results[len(results)-1].Recorder.WaitSeries()
+	worse, better := 0, 0
+	for i := range static {
+		switch {
+		case last[i] > static[i]+1:
+			worse++
+		case last[i] < static[i]-1:
+			better++
+		}
+	}
+	b.ReportMetric(float64(worse), "jobs-delayed")
+	b.ReportMetric(float64(better), "jobs-improved")
+}
+
+// BenchmarkFig8Waits regenerates Fig. 8 (Static vs Dyn-HP waits).
+func BenchmarkFig8Waits(b *testing.B) { waitSeriesBench(b, 0, 1) }
+
+// BenchmarkFig10Waits regenerates Fig. 10 (Static, Dyn-HP, Dyn-500).
+func BenchmarkFig10Waits(b *testing.B) { waitSeriesBench(b, 0, 1, 2) }
+
+// BenchmarkFig11Waits regenerates Fig. 11 (Static, Dyn-HP, Dyn-600).
+func BenchmarkFig11Waits(b *testing.B) { waitSeriesBench(b, 0, 1, 3) }
+
+// BenchmarkFig9TypeL regenerates Fig. 9: type-L waiting times across
+// all four configurations.
+func BenchmarkFig9TypeL(b *testing.B) {
+	var results []*experiments.ESPResult
+	for i := 0; i < b.N; i++ {
+		results = experiments.RunStandard(esp.DefaultOpts())
+	}
+	static := results[0].Recorder.JobsOfType("L")
+	for k, r := range results {
+		var mean float64
+		l := r.Recorder.JobsOfType("L")
+		worse := 0
+		for i := range l {
+			mean += sim.SecondsOf(l[i].Wait())
+			if l[i].Wait() > static[i].Wait() {
+				worse++
+			}
+		}
+		b.ReportMetric(mean/float64(len(l)), "Lmean-s-"+r.Config.Name)
+		if k > 0 {
+			b.ReportMetric(float64(worse), "Lworse-"+r.Config.Name)
+		}
+	}
+}
+
+// BenchmarkFig12Overhead measures the live-daemon tm_dynget latency
+// for 1, 5 and 10 dynamically allocated nodes, idle and loaded — the
+// real-socket reproduction of Fig. 12.
+func BenchmarkFig12Overhead(b *testing.B) {
+	opts := experiments.DefaultFig12Opts()
+	opts.Samples = 1
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunFig12(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range points {
+				if p.Nodes == 1 || p.Nodes == 5 || p.Nodes == 10 {
+					b.ReportMetric(p.IdleMS, "idle-ms-"+itoa(p.Nodes)+"n")
+					b.ReportMetric(p.LoadedMS, "loaded-ms-"+itoa(p.Nodes)+"n")
+				}
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+// --- ablation benches (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationPreemption compares idle-only dynamic allocation
+// with preemption-enabled allocation (backfilled jobs are requeued to
+// serve dynamic requests).
+func BenchmarkAblationPreemption(b *testing.B) {
+	for _, pol := range []string{"NONE", "REQUEUE"} {
+		pol := pol
+		b.Run("preempt-"+pol, func(b *testing.B) {
+			cfg := experiments.ESPConfig{
+				Name: "Dyn-HP+" + pol, Dynamic: true,
+				Mutate: func(sc *config.SchedConfig) { sc.PreemptPolicy = pol },
+			}
+			benchESP(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationDelayDepth sweeps ReservationDelayDepth: how many
+// StartLater jobs have their delays measured and charged (§III-C).
+func BenchmarkAblationDelayDepth(b *testing.B) {
+	for _, depth := range []int{1, 5, 20} {
+		depth := depth
+		b.Run("depth-"+itoa(depth), func(b *testing.B) {
+			cfg := experiments.ESPConfig{
+				Name: "Dyn-500", Dynamic: true,
+				TargetDelay: 500 * sim.Second, Interval: sim.Hour,
+				Mutate: func(sc *config.SchedConfig) { sc.ReservationDelayDepth = depth },
+			}
+			benchESP(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationDecay sweeps DFSDecay: how much charged delay
+// carries into the next accounting interval.
+func BenchmarkAblationDecay(b *testing.B) {
+	for _, decay := range []float64{0, 0.5, 1.0} {
+		decay := decay
+		name := "decay-0"
+		if decay == 0.5 {
+			name = "decay-05"
+		} else if decay == 1.0 {
+			name = "decay-1"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := experiments.ESPConfig{
+				Name: "Dyn-500", Dynamic: true,
+				TargetDelay: 500 * sim.Second, Interval: sim.Hour, Decay: decay,
+			}
+			benchESP(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationDynOrder compares the paper's dynamic-before-
+// backfill ordering against serving dynamic requests last.
+func BenchmarkAblationDynOrder(b *testing.B) {
+	for _, after := range []bool{false, true} {
+		after := after
+		name := "dyn-first"
+		if after {
+			name = "dyn-after-backfill"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := experiments.ESPConfig{
+				Name: "Dyn-HP", Dynamic: true,
+				CoreOpts: func(o *core.Options) { o.DynRequestsAfterBackfill = after },
+			}
+			benchESP(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationResDepth sweeps ReservationDepth: conservative vs
+// optimistic backfilling.
+func BenchmarkAblationResDepth(b *testing.B) {
+	for _, depth := range []int{1, 5, 20} {
+		depth := depth
+		b.Run("resdepth-"+itoa(depth), func(b *testing.B) {
+			cfg := experiments.ESPConfig{
+				Name: "Dyn-HP", Dynamic: true,
+				Mutate: func(sc *config.SchedConfig) { sc.ReservationDepth = depth },
+			}
+			benchESP(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationWalltimeFactor sweeps how much users over-request
+// walltime; delay estimates are walltime-based, so looser walltimes
+// make the fairness gate more conservative (§III-D).
+func BenchmarkAblationWalltimeFactor(b *testing.B) {
+	for _, f := range []float64{1.0, 1.5, 2.0} {
+		f := f
+		name := "wf-10"
+		if f == 1.5 {
+			name = "wf-15"
+		} else if f == 2.0 {
+			name = "wf-20"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last *experiments.ESPResult
+			opts := esp.DefaultOpts()
+			opts.WalltimeFactor = f
+			for i := 0; i < b.N; i++ {
+				last = experiments.RunESP(experiments.StandardConfigs()[2], opts)
+			}
+			b.ReportMetric(float64(last.Summary.SatisfiedDynJobs), "satisfied")
+			b.ReportMetric(last.Summary.MakespanMinutes, "makespan-min")
+		})
+	}
+}
+
+// BenchmarkAblationSeeds reports how the Table II ordering depends on
+// the (unpublished) ESP submission order.
+func BenchmarkAblationSeeds(b *testing.B) {
+	ordered := 0
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < b.N; i++ {
+		ordered = 0
+		for _, seed := range seeds {
+			opts := esp.DefaultOpts()
+			opts.Seed = seed
+			rs := experiments.RunStandard(opts)
+			s, hp, d5, d6 := rs[0].Summary, rs[1].Summary, rs[2].Summary, rs[3].Summary
+			if s.MakespanMinutes > hp.MakespanMinutes &&
+				hp.SatisfiedDynJobs > d5.SatisfiedDynJobs &&
+				d6.SatisfiedDynJobs >= d5.SatisfiedDynJobs {
+				ordered++
+			}
+		}
+	}
+	b.ReportMetric(float64(ordered), "paper-ordered-seeds")
+	b.ReportMetric(float64(len(seeds)), "seeds")
+}
+
+// BenchmarkSchedulerIteration microbenchmarks one extended Maui
+// iteration on a busy 120-core system with a deep queue and a pending
+// dynamic request — the per-cycle cost of Algorithm 2.
+func BenchmarkSchedulerIteration(b *testing.B) {
+	cl := cluster.New(15, 8)
+	rm := newBenchRM(cl)
+	for i := 1; i <= 10; i++ {
+		j := &job.Job{ID: job.ID(i), Cred: job.Credentials{User: "r"}, Cores: 8, Walltime: sim.Hour}
+		rm.run(j)
+	}
+	for i := 11; i <= 60; i++ {
+		rm.queued = append(rm.queued, &job.Job{
+			ID: job.ID(i), Cred: job.Credentials{User: "q"}, Cores: 16,
+			Walltime: sim.Hour, SubmitTime: sim.Time(i), State: job.Queued,
+		})
+	}
+	evolving := rm.active[0]
+	evolving.Class = job.Evolving
+	s := core.New(core.Options{}, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rm.dyn = []*job.DynRequest{{Job: evolving, Cores: 4}}
+		evolving.State = job.DynQueued
+		s.Iterate(sim.Minute, rm)
+		// Undo the grant so every iteration sees the same state.
+		cl.ReleasePartial(evolving.ID, cluster.Alloc{{NodeID: cl.AllocOf(evolving.ID)[len(cl.AllocOf(evolving.ID))-1].NodeID, Cores: 4}})
+		evolving.DynCores = 0
+	}
+}
+
+// BenchmarkESPEndToEnd measures the full 230-job simulation wall time
+// (the paper's 4.4-hour run compresses to milliseconds).
+func BenchmarkESPEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunESP(experiments.StandardConfigs()[1], esp.DefaultOpts())
+	}
+}
+
+// benchRM is a minimal ResourceManager for iteration micro-benches.
+type benchRM struct {
+	cl     *cluster.Cluster
+	queued []*job.Job
+	active []*job.Job
+	dyn    []*job.DynRequest
+}
+
+func newBenchRM(cl *cluster.Cluster) *benchRM { return &benchRM{cl: cl} }
+
+func (r *benchRM) run(j *job.Job) {
+	if r.cl.Allocate(j.ID, j.Cores) == nil {
+		panic("benchRM: cannot place job")
+	}
+	j.State = job.Running
+	r.active = append(r.active, j)
+}
+
+func (r *benchRM) Cluster() *cluster.Cluster      { return r.cl }
+func (r *benchRM) QueuedJobs() []*job.Job         { return append([]*job.Job(nil), r.queued...) }
+func (r *benchRM) ActiveJobs() []*job.Job         { return append([]*job.Job(nil), r.active...) }
+func (r *benchRM) DynRequests() []*job.DynRequest { return append([]*job.DynRequest(nil), r.dyn...) }
+
+func (r *benchRM) StartJob(j *job.Job) (cluster.Alloc, error) {
+	alloc := r.cl.Allocate(j.ID, j.Cores)
+	if alloc == nil {
+		return nil, errNoRes
+	}
+	j.State = job.Running
+	for i, q := range r.queued {
+		if q.ID == j.ID {
+			r.queued = append(r.queued[:i], r.queued[i+1:]...)
+			break
+		}
+	}
+	r.active = append(r.active, j)
+	return alloc, nil
+}
+
+func (r *benchRM) GrantDyn(req *job.DynRequest) (cluster.Alloc, error) {
+	alloc := r.cl.Allocate(req.Job.ID, req.TotalCores())
+	if alloc == nil {
+		return nil, errNoRes
+	}
+	req.Job.DynCores += req.TotalCores()
+	req.Job.State = job.Running
+	r.dyn = r.dyn[:0]
+	return alloc, nil
+}
+
+func (r *benchRM) RejectDyn(req *job.DynRequest, reason string) {
+	req.Job.State = job.Running
+	r.dyn = r.dyn[:0]
+}
+
+func (r *benchRM) Preempt(j *job.Job) error { return errNoRes }
+
+var errNoRes = &noResErr{}
+
+type noResErr struct{}
+
+func (*noResErr) Error() string { return "no resources" }
+
+// BenchmarkAblationResizeSupport compares random mixed workloads with
+// and without the resize extensions (malleable shrink/grow + moldable
+// molding): the resizing scheduler should pack better.
+func BenchmarkAblationResizeSupport(b *testing.B) {
+	for _, resize := range []bool{false, true} {
+		resize := resize
+		name := "resize-off"
+		if resize {
+			name = "resize-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var util, makespan float64
+			for i := 0; i < b.N; i++ {
+				util, makespan = 0, 0
+				for seed := int64(1); seed <= 4; seed++ {
+					spec := workload.DefaultSpec()
+					spec.Seed = seed
+					spec.Jobs = 80
+					eng := sim.NewEngine()
+					cl := cluster.New(15, 8)
+					sched := core.New(core.Options{
+						Config: config.Default(), Malleable: resize, Moldable: resize,
+					}, 0)
+					rec := metrics.NewRecorder(cl.TotalCores())
+					srv := rms.NewServer(eng, cl, sched, rec)
+					workload.SubmitAll(srv, workload.Generate(spec))
+					srv.Run(10_000_000)
+					util += rec.Utilization() * 100 / 4
+					makespan += sim.MinutesOf(rec.Makespan()) / 4
+				}
+			}
+			b.ReportMetric(util, "util-%")
+			b.ReportMetric(makespan, "makespan-min")
+		})
+	}
+}
+
+// BenchmarkESPEfficiency reports the original ESP benchmark's
+// efficiency metric (ideal-makespan ratio) per configuration.
+func BenchmarkESPEfficiency(b *testing.B) {
+	for _, cfg := range experiments.StandardConfigs() {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			var eff float64
+			for i := 0; i < b.N; i++ {
+				opts := esp.DefaultOpts()
+				res := experiments.RunESP(cfg, opts)
+				w := esp.Generate(opts)
+				eff = esp.Efficiency(w.TotalWork(), 120, res.Recorder.Makespan())
+			}
+			b.ReportMetric(eff, "esp-efficiency")
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mom"
+	"repro/internal/serverd"
+)
+
+// TestCLIRoundTrip builds the real client binaries and drives a live
+// in-process cluster with them: qsub → qstat → qdel, the full
+// user-facing surface of the batch system.
+func TestCLIRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	for _, tool := range []string{"qsub", "qstat", "qdel"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	srv := serverd.New(serverd.Options{
+		Sched:        core.New(core.Options{}, 0),
+		PollInterval: 20 * time.Millisecond,
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	m := mom.New("clinode", 8)
+	if err := m.Start("127.0.0.1:0", srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	run := func(tool string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(filepath.Join(dir, tool), append([]string{"-server", srv.Addr()}, args...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+		}
+		return string(out)
+	}
+
+	// qsub a short job and a long one to qdel.
+	out := run("qsub", "-name", "cli-short", "-user", "alice", "-cores", "4",
+		"-walltime", "60", "-script", "sleep:50ms")
+	if !strings.HasPrefix(out, "job.") {
+		t.Fatalf("qsub output: %q", out)
+	}
+	out = run("qsub", "-name", "cli-long", "-user", "bob", "-cores", "4",
+		"-walltime", "600", "-script", "sleep:10m")
+	longID := strings.TrimSpace(out)
+
+	// qstat shows both jobs and the node.
+	stat := run("qstat")
+	if !strings.Contains(stat, "cli-short") || !strings.Contains(stat, "cli-long") ||
+		!strings.Contains(stat, "clinode") {
+		t.Fatalf("qstat output:\n%s", stat)
+	}
+
+	// qdel the long job; both reach terminal states.
+	run("qdel", longID)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		stat = run("qstat")
+		if strings.Contains(stat, "completed") && strings.Contains(stat, "cancelled") {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("jobs never reached terminal states:\n%s", stat)
+}

@@ -1,0 +1,139 @@
+// Command esprun regenerates the paper's evaluation artifacts: the
+// dynamic ESP benchmark of Table I, the four-configuration comparison
+// of Table II, the waiting-time series of Figs. 8–11, the Quadflow
+// execution-time breakdown of Fig. 7, and the live-daemon dynamic
+// allocation overhead of Fig. 12.
+//
+// Usage:
+//
+//	esprun -table1          # print the Table I job mix
+//	esprun -table2          # run all four configurations, print Table II
+//	esprun -fig7            # Quadflow static/dynamic runs
+//	esprun -fig8            # waits: Static vs Dyn-HP (TSV)
+//	esprun -fig9            # type-L waits, all configs (TSV)
+//	esprun -fig10           # waits: Static, Dyn-HP, Dyn-500 (TSV)
+//	esprun -fig11           # waits: Static, Dyn-HP, Dyn-600 (TSV)
+//	esprun -fig12           # live-daemon allocation overhead
+//	esprun -all             # everything above
+//	esprun -seed 7 -cores 120 -walltime-factor 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/esp"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/quadflow"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "print the dynamic ESP job mix (Table I)")
+		table2  = flag.Bool("table2", false, "run the four configurations and print Table II")
+		fig7    = flag.Bool("fig7", false, "run the Quadflow cases (Fig. 7)")
+		fig8    = flag.Bool("fig8", false, "waiting times Static vs Dyn-HP (Fig. 8)")
+		fig9    = flag.Bool("fig9", false, "type-L waiting times, all configs (Fig. 9)")
+		fig10   = flag.Bool("fig10", false, "waiting times Static/Dyn-HP/Dyn-500 (Fig. 10)")
+		fig11   = flag.Bool("fig11", false, "waiting times Static/Dyn-HP/Dyn-600 (Fig. 11)")
+		fig12   = flag.Bool("fig12", false, "live-daemon dynamic allocation overhead (Fig. 12)")
+		all     = flag.Bool("all", false, "run everything")
+		usage   = flag.Bool("usage", false, "per-user accounting of the Dyn-HP run")
+		gantt   = flag.Bool("gantt", false, "ASCII Gantt chart of the Dyn-HP schedule")
+		seed    = flag.Int64("seed", esp.DefaultOpts().Seed, "submission-order seed")
+		cores   = flag.Int("cores", 120, "total system cores (15 nodes x 8 in the paper)")
+		wfactor = flag.Float64("walltime-factor", 1.0, "requested walltime as a multiple of SET")
+		maxN    = flag.Int("fig12-nodes", 10, "largest dynamic allocation for -fig12")
+		samples = flag.Int("fig12-samples", 3, "samples per Fig. 12 point")
+	)
+	flag.Parse()
+
+	if !(*table1 || *table2 || *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *usage || *gantt || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := esp.DefaultOpts()
+	opts.Seed = *seed
+	opts.TotalCores = *cores
+	opts.WalltimeFactor = *wfactor
+
+	if *table1 || *all {
+		fmt.Println("=== Table I: dynamic ESP job mix ===")
+		fmt.Print(esp.FormatTableI(opts.TotalCores))
+		w := esp.Generate(opts)
+		total, evolving, rigid := w.Counts()
+		fmt.Printf("jobs: %d total, %d evolving (%.0f%%), %d rigid; total work %.0f core-seconds\n\n",
+			total, evolving, float64(evolving)/float64(total)*100, rigid, w.TotalWork())
+	}
+
+	var results []*experiments.ESPResult
+	need := *table2 || *fig8 || *fig9 || *fig10 || *fig11 || *usage || *gantt || *all
+	if need {
+		fmt.Fprintf(os.Stderr, "running the four ESP configurations (seed %d, %d cores)...\n", opts.Seed, opts.TotalCores)
+		results = experiments.RunStandard(opts)
+	}
+
+	if *table2 || *all {
+		fmt.Println("=== Table II: performance comparison ===")
+		fmt.Print(experiments.TableII(results))
+		fmt.Println()
+	}
+	if *fig8 || *all {
+		fmt.Println("=== Fig. 8: waiting times, Static vs Dyn-HP (seconds, submission order) ===")
+		fmt.Print(experiments.WaitComparison(results[:2]))
+		fmt.Println()
+	}
+	if *fig9 || *all {
+		fmt.Println("=== Fig. 9: type-L waiting times, all configurations ===")
+		fmt.Print(experiments.TypeLComparison(results))
+		fmt.Println()
+	}
+	if *fig10 || *all {
+		fmt.Println("=== Fig. 10: waiting times, Static / Dyn-HP / Dyn-500 ===")
+		fmt.Print(experiments.WaitComparison(results[:3]))
+		fmt.Println()
+	}
+	if *fig11 || *all {
+		fmt.Println("=== Fig. 11: waiting times, Static / Dyn-HP / Dyn-600 ===")
+		fmt.Print(experiments.WaitComparison([]*experiments.ESPResult{results[0], results[1], results[3]}))
+		fmt.Println()
+	}
+	if *usage || *all {
+		fmt.Println("=== Per-user accounting (Dyn-HP run) ===")
+		rec := results[1].Recorder
+		fmt.Print(metrics.FormatUsage(rec.UsageByUser()))
+		p50, p90, p99 := rec.WaitPercentiles()
+		fmt.Printf("wait p50/p90/p99: %.0f / %.0f / %.0f s; mean bounded slowdown %.2f\n\n",
+			p50, p90, p99, rec.MeanBoundedSlowdown())
+	}
+	if *gantt {
+		fmt.Println("=== Dyn-HP schedule ('=' running, '#' grown, 'b' backfilled) ===")
+		fmt.Print(results[1].Trace.Gantt(120))
+		fmt.Println()
+	}
+	if *fig7 || *all {
+		fmt.Println("=== Fig. 7: Quadflow execution times by adaptation phase ===")
+		for _, c := range quadflow.Cases() {
+			runs := quadflow.Fig7(c, 16, 500*sim.Millisecond)
+			fmt.Print(quadflow.FormatFig7(c, runs))
+		}
+		fmt.Println()
+	}
+	if *fig12 || *all {
+		fmt.Fprintf(os.Stderr, "measuring live-daemon allocation overhead (1..%d nodes)...\n", *maxN)
+		f12 := experiments.DefaultFig12Opts()
+		f12.MaxNodes = *maxN
+		f12.Samples = *samples
+		points, err := experiments.RunFig12(f12)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig12: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("=== Fig. 12: dynamic allocation overhead (live TCP daemons) ===")
+		fmt.Print(experiments.FormatFig12(points))
+	}
+}

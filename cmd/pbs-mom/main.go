@@ -1,0 +1,41 @@
+// Command pbs-mom runs a compute-node daemon (the pbs_mom analog): it
+// registers its node with the server and executes the jobs dispatched
+// to it, including the mother-superior role of the dynamic allocation
+// workflow (Figs. 3 and 4 of the paper).
+//
+//	pbs-mom -name node0 -cores 8 -server 127.0.0.1:15001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/mom"
+)
+
+func main() {
+	var (
+		name    = flag.String("name", "node0", "node name")
+		cores   = flag.Int("cores", 8, "cores on this node")
+		server  = flag.String("server", "127.0.0.1:15001", "pbs-server address")
+		listen  = flag.String("listen", "127.0.0.1:0", "TM/join listen address")
+		verbose = flag.Bool("v", false, "verbose logging")
+	)
+	flag.Parse()
+
+	m := mom.New(*name, *cores)
+	m.Verbose = *verbose
+	if err := m.Start(*listen, *server); err != nil {
+		fmt.Fprintf(os.Stderr, "pbs-mom: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pbs-mom %s (%d cores) registered with %s, TM at %s\n", *name, *cores, *server, m.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	m.Close()
+}

@@ -1,0 +1,62 @@
+// Command pbs-server runs the live batch server daemon (the pbs_server
+// analog). By default it embeds the scheduler; with -external-sched it
+// expects a separate maui daemon to drive scheduling over the sched
+// protocol, matching the paper's two-daemon headnode.
+//
+//	pbs-server -addr 127.0.0.1:15001 -config maui.cfg
+//	pbs-server -addr 127.0.0.1:15001 -external-sched
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/serverd"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:15001", "listen address")
+		cfgPath  = flag.String("config", "", "Maui-style scheduler config file (Fig. 6 format)")
+		external = flag.Bool("external-sched", false, "disable the embedded scheduler; use a maui daemon")
+		poll     = flag.Duration("poll", 2*time.Second, "embedded scheduler idle poll interval")
+		verbose  = flag.Bool("v", false, "verbose logging")
+	)
+	flag.Parse()
+
+	opts := serverd.Options{PollInterval: *poll, Verbose: *verbose}
+	if !*external {
+		sc := config.Default()
+		if *cfgPath != "" {
+			text, err := os.ReadFile(*cfgPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pbs-server: %v\n", err)
+				os.Exit(1)
+			}
+			sc, err = config.Parse(string(text))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pbs-server: %s: %v\n", *cfgPath, err)
+				os.Exit(1)
+			}
+		}
+		opts.Sched = core.New(core.Options{Config: sc}, 0)
+	}
+	srv := serverd.New(opts)
+	if err := srv.Start(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "pbs-server: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pbs-server listening on %s (embedded scheduler: %v)\n", srv.Addr(), !*external)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("pbs-server shutting down")
+	srv.Close()
+}

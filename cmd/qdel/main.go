@@ -1,0 +1,41 @@
+// Command qdel cancels a job on a running pbs-server, mirroring the
+// Torque client command.
+//
+//	qdel -server 127.0.0.1:15001 17
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+import "repro/internal/proto"
+
+func main() {
+	server := flag.String("server", "127.0.0.1:15001", "pbs-server address")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qdel [-server addr] <jobid>")
+		os.Exit(2)
+	}
+	arg := strings.TrimPrefix(flag.Arg(0), "job.")
+	id, err := strconv.Atoi(arg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qdel: bad job id %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	c, err := proto.Dial(*server)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qdel: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	if _, err := c.Request(proto.TQDel, proto.QDelReq{JobID: id}); err != nil {
+		fmt.Fprintf(os.Stderr, "qdel: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("job.%d deleted\n", id)
+}

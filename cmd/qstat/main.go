@@ -1,0 +1,45 @@
+// Command qstat shows the queue and node state of a running
+// pbs-server, mirroring the Torque client command.
+//
+//	qstat -server 127.0.0.1:15001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/proto"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:15001", "pbs-server address")
+	flag.Parse()
+
+	c, err := proto.Dial(*server)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qstat: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	env, err := c.Request(proto.TQStat, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qstat: %v\n", err)
+		os.Exit(1)
+	}
+	var resp proto.QStatResp
+	if err := env.Decode(&resp); err != nil {
+		fmt.Fprintf(os.Stderr, "qstat: bad reply: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-8s %-16s %-10s %-10s %6s %5s %10s\n",
+		"Job", "Name", "User", "State", "Cores", "+Dyn", "Wait[s]")
+	for _, j := range resp.Jobs {
+		fmt.Printf("job.%-4d %-16s %-10s %-10s %6d %5d %10.1f\n",
+			j.ID, j.Name, j.User, j.State, j.Cores, j.DynCores, j.WaitSecs)
+	}
+	fmt.Printf("\n%-10s %6s %6s %-8s\n", "Node", "Cores", "Used", "State")
+	for _, n := range resp.Nodes {
+		fmt.Printf("%-10s %6d %6d %-8s\n", n.Name, n.Cores, n.Used, n.State)
+	}
+}

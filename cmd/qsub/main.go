@@ -1,0 +1,69 @@
+// Command qsub submits a job to a running pbs-server, mirroring the
+// Torque client command. The script selects the application the mother
+// superior launches: "sleep:<dur>", "go:<registered app>", or
+// "exec:<command line>" (exec-mode applications reach the TM interface
+// through the TM_JOB_ID / TM_MOM_ADDR environment).
+//
+//	qsub -server 127.0.0.1:15001 -user alice -cores 8 -walltime 3600 \
+//	     -script "exec:/path/to/app" -evolving
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/user"
+
+	"repro/internal/proto"
+)
+
+func main() {
+	var (
+		server   = flag.String("server", "127.0.0.1:15001", "pbs-server address")
+		name     = flag.String("name", "job", "job name")
+		userName = flag.String("user", "", "submitting user (default: current user)")
+		group    = flag.String("group", "", "group")
+		account  = flag.String("account", "", "account")
+		cores    = flag.Int("cores", 0, "cores (core-granular request)")
+		nodes    = flag.Int("nodes", 0, "nodes (node-granular request)")
+		ppn      = flag.Int("ppn", 0, "processors per node")
+		wall     = flag.Int64("walltime", 0, "walltime in seconds")
+		script   = flag.String("script", "sleep:10s", "job script")
+		evolving = flag.Bool("evolving", false, "mark the job as evolving")
+		sysprio  = flag.Int64("sysprio", 0, "system priority (ESP Z jobs)")
+	)
+	flag.Parse()
+
+	if *userName == "" {
+		if u, err := user.Current(); err == nil {
+			*userName = u.Username
+		} else {
+			*userName = "unknown"
+		}
+	}
+	c, err := proto.Dial(*server)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qsub: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	env, err := c.Request(proto.TQSub, proto.JobSpec{
+		Name: *name, User: *userName, Group: *group, Account: *account,
+		Cores: *cores, Nodes: *nodes, PPN: *ppn, WallSecs: *wall,
+		Script: *script, Evolving: *evolving, SystemPriority: *sysprio,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qsub: %v\n", err)
+		os.Exit(1)
+	}
+	var resp proto.QSubResp
+	if err := env.Decode(&resp); err != nil {
+		fmt.Fprintf(os.Stderr, "qsub: bad reply: %v\n", err)
+		os.Exit(1)
+	}
+	if resp.Error != "" {
+		fmt.Fprintf(os.Stderr, "qsub: %s\n", resp.Error)
+		os.Exit(1)
+	}
+	fmt.Printf("job.%d\n", resp.JobID)
+}

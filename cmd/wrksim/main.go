@@ -1,0 +1,120 @@
+// Command wrksim runs a synthetic random workload (rigid + evolving +
+// malleable jobs) through the simulated dynamic batch system and
+// reports scheduling outcomes: the Table II-style summary, per-user
+// accounting, waiting-time percentiles, bounded slowdown, and
+// optionally the ASCII Gantt chart of the schedule. It is the
+// capacity-planning companion to cmd/esprun's fixed paper workload.
+//
+//	wrksim -jobs 200 -seed 7 -evolving 0.3 -malleable 0.1 \
+//	       -policy target -limit 500 -gantt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/fairness"
+	"repro/internal/metrics"
+	"repro/internal/rms"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		jobs      = flag.Int("jobs", 150, "number of jobs")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		cores     = flag.Int("cores", 120, "total cores (8 per node)")
+		evolving  = flag.Float64("evolving", 0.3, "evolving job fraction")
+		malleable = flag.Float64("malleable", 0.1, "malleable job fraction")
+		meanRun   = flag.Duration("mean-runtime", 0, "mean job runtime (real-time units; default 10m virtual)")
+		policy    = flag.String("policy", "none", "dynamic fairness: none | target | single")
+		limit     = flag.Int64("limit", 500, "per-user delay budget/limit in seconds")
+		interval  = flag.Int64("interval", 3600, "DFS interval in seconds")
+		resize    = flag.Bool("resize", true, "enable malleable shrink/grow and moldable molding")
+		gantt     = flag.Bool("gantt", false, "print the schedule as an ASCII Gantt chart")
+		width     = flag.Int("gantt-width", 100, "gantt width in cells")
+	)
+	flag.Parse()
+
+	spec := workload.DefaultSpec()
+	spec.Jobs = *jobs
+	spec.Seed = *seed
+	spec.TotalCores = *cores
+	spec.EvolvingFrac = *evolving
+	spec.MalleableFrac = *malleable
+	if *meanRun > 0 {
+		spec.MeanRuntime = sim.FromReal(*meanRun)
+	}
+
+	sc := config.Default()
+	f := fairness.NewConfig(fairness.None)
+	switch *policy {
+	case "none":
+	case "target":
+		f = fairness.NewConfig(fairness.TargetDelay)
+	case "single":
+		f = fairness.NewConfig(fairness.SingleJobDelay)
+	default:
+		fmt.Fprintf(os.Stderr, "wrksim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	if f.Policy != fairness.None {
+		f.Interval = sim.Duration(*interval) * sim.Second
+		for u := 0; u < spec.Users; u++ {
+			f.Set(fairness.KindUser, fmt.Sprintf("wuser%02d", u), fairness.Limits{
+				TargetDelayTime: sim.Duration(*limit) * sim.Second,
+				SingleDelayTime: sim.Duration(*limit) * sim.Second,
+			})
+		}
+	}
+	sc.Fairness = f
+
+	eng := sim.NewEngine()
+	nodes := (*cores + 7) / 8
+	cl := cluster.New(nodes, 8)
+	sched := core.New(core.Options{Config: sc, Malleable: *resize, Moldable: *resize}, 0)
+	rec := metrics.NewRecorder(cl.TotalCores())
+	srv := rms.NewServer(eng, cl, sched, rec)
+	var tr *trace.Log
+	if *gantt {
+		tr = &trace.Log{}
+		srv.Trace = tr
+	}
+	grants, attempts := 0, 0
+	srv.OnIteration = func(ir *core.IterationResult) {
+		for _, d := range ir.DynDecisions {
+			if d.Deferred {
+				continue
+			}
+			attempts++
+			if d.Granted {
+				grants++
+			}
+		}
+	}
+	workload.SubmitAll(srv, workload.Generate(spec))
+	srv.Run(50_000_000)
+
+	s := rec.Summarize(fmt.Sprintf("seed%d", *seed))
+	fmt.Printf("jobs %d (completed %d, cancelled %d) on %d cores, policy %s\n",
+		*jobs, srv.Completed(), srv.Cancelled(), cl.TotalCores(), f.Policy)
+	fmt.Printf("makespan %.1f min | utilization %.1f%% | throughput %.2f jobs/min\n",
+		s.MakespanMinutes, s.UtilizationPct, s.ThroughputJPM)
+	p50, p90, p99 := rec.WaitPercentiles()
+	fmt.Printf("wait p50/p90/p99: %.0f / %.0f / %.0f s | mean bounded slowdown %.2f\n",
+		p50, p90, p99, rec.MeanBoundedSlowdown())
+	fmt.Printf("dynamic requests: %d granted of %d decided | %d jobs backfilled\n\n",
+		grants, attempts, s.Backfilled)
+	fmt.Print(metrics.FormatUsage(rec.UsageByUser()))
+
+	if tr != nil {
+		fmt.Println("\nschedule ('=' running, '#' after dynamic growth, 'b' backfilled):")
+		fmt.Print(tr.Gantt(*width))
+	}
+}

@@ -1,0 +1,101 @@
+// Live-cluster demo: boots the real TCP daemons in one process — a
+// pbs-server with an embedded scheduler, a separate maui-style check
+// is available via cmd/maui — plus four pbs_moms, then submits an
+// evolving application that grows by two nodes via tm_dynget, releases
+// one via tm_dynfree, and finishes. Everything travels over real
+// loopback sockets: the TM round trip, the server's scheduling cycle,
+// and the mom↔mom dyn_join.
+//
+//	go run ./examples/livecluster
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mom"
+	"repro/internal/proto"
+	"repro/internal/serverd"
+	"repro/internal/tm"
+)
+
+func main() {
+	sched := core.New(core.Options{}, 0)
+	srv := serverd.New(serverd.Options{Sched: sched, PollInterval: 50 * time.Millisecond})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("pbs-server on %s\n", srv.Addr())
+
+	for i := 0; i < 4; i++ {
+		m := mom.New(fmt.Sprintf("node%d", i), 8)
+		if err := m.Start("127.0.0.1:0", srv.Addr()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer m.Close()
+		fmt.Printf("pbs-mom %s registered (TM at %s)\n", m.Name(), m.Addr())
+	}
+
+	done := make(chan struct{})
+	mom.RegisterGoApp("demo-evolving", func(ctx context.Context, tmc *tm.Context) error {
+		defer close(done)
+		fmt.Println("[app] started on the initial allocation; computing...")
+		time.Sleep(100 * time.Millisecond)
+
+		fmt.Println("[app] grid adapted — calling tm_dynget for 2 nodes x 8")
+		t0 := time.Now()
+		hosts, err := tmc.DynGetNodes(2, 8)
+		if err != nil {
+			fmt.Printf("[app] rejected: %v (continuing on current allocation)\n", err)
+			return nil
+		}
+		fmt.Printf("[app] granted in %v:", time.Since(t0))
+		for _, h := range hosts {
+			fmt.Printf(" %s:%d", h.Node, h.Cores)
+		}
+		fmt.Println(" — spawning workers there (MPI-2 style)")
+		time.Sleep(100 * time.Millisecond)
+
+		fmt.Printf("[app] phase done — tm_dynfree of %s\n", hosts[0].Node)
+		if err := tmc.DynFree(hosts[:1]); err != nil {
+			return err
+		}
+		time.Sleep(50 * time.Millisecond)
+		return nil
+	})
+
+	id, err := srv.QSub(proto.JobSpec{
+		Name: "demo", User: "alice", Nodes: 1, PPN: 8, WallSecs: 300,
+		Script: "go:demo-evolving", Evolving: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("submitted job.%d\n", id)
+
+	<-done
+	// Wait for the completion report to land, then qstat.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		st := srv.QStat()
+		if len(st.Jobs) == 1 && st.Jobs[0].State == "completed" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := srv.QStat()
+	fmt.Println("\nfinal qstat:")
+	for _, j := range st.Jobs {
+		fmt.Printf("  job.%d %-8s user=%s state=%s cores=%d\n", j.ID, j.Name, j.User, j.State, j.Cores)
+	}
+	for _, n := range st.Nodes {
+		fmt.Printf("  %s: %d/%d cores used (%s)\n", n.Name, n.Used, n.Cores, n.State)
+	}
+}

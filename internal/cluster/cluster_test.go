@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/job"
+)
+
+func TestNewCluster(t *testing.T) {
+	c := New(15, 8)
+	if c.NumNodes() != 15 {
+		t.Fatalf("nodes = %d", c.NumNodes())
+	}
+	if c.TotalCores() != 120 {
+		t.Fatalf("total cores = %d", c.TotalCores())
+	}
+	if c.IdleCores() != 120 || c.UsedCores() != 0 {
+		t.Fatal("fresh cluster should be fully idle")
+	}
+	if c.Node(0).Name != "node0" || c.Node(14).Name != "node14" {
+		t.Error("node naming")
+	}
+	if c.Node(-1) != nil || c.Node(15) != nil {
+		t.Error("out-of-range Node() should be nil")
+	}
+}
+
+func TestAllocateRelease(t *testing.T) {
+	c := New(4, 8)
+	a := c.Allocate(1, 12)
+	if a == nil || a.TotalCores() != 12 {
+		t.Fatalf("alloc = %v", a)
+	}
+	if c.IdleCores() != 20 || c.UsedCores() != 12 {
+		t.Errorf("idle=%d used=%d", c.IdleCores(), c.UsedCores())
+	}
+	if got := c.AllocOf(1).TotalCores(); got != 12 {
+		t.Errorf("AllocOf = %d", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	c.Release(1)
+	if c.IdleCores() != 32 {
+		t.Errorf("idle after release = %d", c.IdleCores())
+	}
+	if c.AllocOf(1) != nil {
+		t.Error("AllocOf after release should be nil")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateInsufficient(t *testing.T) {
+	c := New(2, 8)
+	if a := c.Allocate(1, 17); a != nil {
+		t.Fatal("allocation should fail")
+	}
+	if c.UsedCores() != 0 {
+		t.Error("failed allocation must not leak cores")
+	}
+	if a := c.Allocate(1, 0); a != nil {
+		t.Error("zero-core allocation should fail")
+	}
+	if a := c.Allocate(1, -3); a != nil {
+		t.Error("negative allocation should fail")
+	}
+}
+
+func TestAllocatePrefersEmptiestNodes(t *testing.T) {
+	c := New(3, 8)
+	c.Allocate(1, 6) // fills one node to 6/8
+	a := c.Allocate(2, 8)
+	// Job 2 should land on a fully idle node, not straddle.
+	if len(a) != 1 {
+		t.Errorf("8-core alloc should fit one idle node, got %v", a)
+	}
+}
+
+func TestAllocateNodes(t *testing.T) {
+	c := New(4, 8)
+	a := c.AllocateNodes(1, 2, 8)
+	if a == nil || a.TotalCores() != 16 || len(a) != 2 {
+		t.Fatalf("alloc = %v", a)
+	}
+	for _, s := range a {
+		if s.Cores != 8 {
+			t.Errorf("ppn violated: %v", a)
+		}
+	}
+	// Only 2 idle nodes remain; a 3-node request must fail cleanly.
+	if got := c.AllocateNodes(2, 3, 8); got != nil {
+		t.Error("over-subscribed node request should fail")
+	}
+	if got := c.AllocateNodes(2, 2, 4); got == nil {
+		t.Error("2 nodes x 4 ppn should fit on remaining idle nodes")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if c.AllocateNodes(3, 0, 8) != nil || c.AllocateNodes(3, 2, 0) != nil {
+		t.Error("degenerate node requests should fail")
+	}
+}
+
+func TestGrowAllocation(t *testing.T) {
+	c := New(4, 8)
+	c.Allocate(1, 8)
+	grow := c.Allocate(1, 4)
+	if grow == nil {
+		t.Fatal("grow failed")
+	}
+	if got := c.AllocOf(1).TotalCores(); got != 12 {
+		t.Errorf("total after grow = %d, want 12", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	c.Release(1)
+	if c.IdleCores() != 32 {
+		t.Error("release after grow must free everything")
+	}
+}
+
+func TestReleasePartial(t *testing.T) {
+	c := New(4, 8)
+	c.Allocate(1, 8)
+	c.Allocate(1, 8) // grow to two nodes
+	alloc := c.AllocOf(1)
+	nodes := alloc.Nodes()
+	if len(nodes) != 2 {
+		t.Fatalf("expected 2 nodes, got %v", alloc)
+	}
+	// Release half of one node: an arbitrary subset, which SLURM would
+	// not allow but our system does.
+	if err := c.ReleasePartial(1, Alloc{{NodeID: nodes[0], Cores: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.AllocOf(1).TotalCores(); got != 12 {
+		t.Errorf("after partial release total = %d, want 12", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Releasing more than held must fail atomically.
+	if err := c.ReleasePartial(1, Alloc{{NodeID: nodes[0], Cores: 100}}); err == nil {
+		t.Error("over-release should error")
+	}
+	if got := c.AllocOf(1).TotalCores(); got != 12 {
+		t.Error("failed partial release must not change state")
+	}
+	// Release everything that is left.
+	rest := c.AllocOf(1)
+	if err := c.ReleasePartial(1, rest); err != nil {
+		t.Fatal(err)
+	}
+	if c.AllocOf(1) != nil {
+		t.Error("full partial release should clear allocation")
+	}
+	if c.IdleCores() != 32 {
+		t.Errorf("idle = %d", c.IdleCores())
+	}
+}
+
+func TestNodeStates(t *testing.T) {
+	c := New(3, 8)
+	c.Allocate(1, 8)
+	// Find the node job 1 landed on.
+	nodeID := c.AllocOf(1)[0].NodeID
+	affected := c.SetNodeState(nodeID, Down)
+	if len(affected) != 1 || affected[0] != 1 {
+		t.Errorf("affected = %v", affected)
+	}
+	if c.TotalCores() != 16 {
+		t.Errorf("total cores with one down node = %d", c.TotalCores())
+	}
+	if c.Node(nodeID).Free() != 0 {
+		t.Error("down node must report zero free")
+	}
+	c.SetNodeState(nodeID, Up)
+	if c.TotalCores() != 24 {
+		t.Error("node back up")
+	}
+	if c.SetNodeState(99, Down) != nil {
+		t.Error("bogus node id should be a no-op")
+	}
+	if Up.String() != "up" || Down.String() != "down" || Offline.String() != "offline" {
+		t.Error("state stringer")
+	}
+	if NodeState(9).String() != "nodestate(9)" {
+		t.Error("out-of-range state stringer")
+	}
+}
+
+func TestAllocString(t *testing.T) {
+	a := Alloc{{NodeID: 0, Cores: 4}, {NodeID: 2, Cores: 8}}
+	if a.String() != "node0:4+node2:8" {
+		t.Errorf("String = %q", a.String())
+	}
+	if got := a.Nodes(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Nodes = %v", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	c := New(3, 8)
+	c.Allocate(1, 5)
+	snap := c.Snapshot()
+	sum := 0
+	for _, f := range snap {
+		sum += f
+	}
+	if sum != c.IdleCores() {
+		t.Errorf("snapshot sum %d != idle %d", sum, c.IdleCores())
+	}
+	// Snapshot must be a copy.
+	snap[0] = -99
+	if c.Node(0).Free() == -99 {
+		t.Error("snapshot aliases live state")
+	}
+}
+
+// Property: after any random sequence of allocate/release operations,
+// the cluster invariants hold and idle+used == total.
+func TestClusterAccountingProperty(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(5, 8)
+		live := map[job.ID]bool{}
+		next := job.ID(1)
+		for i := 0; i < int(ops); i++ {
+			if rng.Intn(3) == 0 && len(live) > 0 {
+				// Release a random live job.
+				for id := range live {
+					c.Release(id)
+					delete(live, id)
+					break
+				}
+			} else {
+				id := next
+				next++
+				if c.Allocate(id, 1+rng.Intn(12)) != nil {
+					live[id] = true
+				}
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+			if c.IdleCores()+c.UsedCores() != c.TotalCores() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/profile"
+	"repro/internal/sim"
+)
+
+// MalleableManager is the optional ResourceManager capability for
+// scheduler-initiated resizing of malleable jobs — the paper's §VI
+// future work ("enable efficient scheduling for malleable jobs"),
+// implemented here. RMs that support it (the simulator does) let the
+// scheduler:
+//
+//   - Shrink running malleable jobs toward their MinCores to free
+//     resources for dynamic requests (§II-B lists "stealing resources
+//     from malleable jobs" as an allocation source);
+//   - Grow running malleable jobs toward their MaxCores from cores
+//     that neither priority starts nor backfill could use.
+type MalleableManager interface {
+	// ShrinkJob releases cores cores from a running malleable job.
+	// The RM notifies the application, which adapts its rate.
+	ShrinkJob(j *job.Job, cores int) error
+	// GrowJob adds cores cores to a running malleable job.
+	GrowJob(j *job.Job, cores int) (cluster.Alloc, error)
+}
+
+// Resize records one scheduler-initiated malleable resize.
+type Resize struct {
+	Job   *job.Job
+	Cores int // positive = grow, negative = shrink
+}
+
+// shrinkMalleable frees cores for a dynamic request by shrinking
+// running malleable jobs, lowest priority first. It returns true when
+// enough cores are idle afterwards. Called between the idle check and
+// preemption — the §II-B source ordering.
+func (s *Scheduler) shrinkMalleable(now sim.Time, rm ResourceManager, need int, res *IterationResult) bool {
+	mm, ok := rm.(MalleableManager)
+	if !ok || !s.opts.Malleable {
+		return false
+	}
+	cl := rm.Cluster()
+	var victims []*job.Job
+	for _, j := range rm.ActiveJobs() {
+		if j.ShrinkableBy() > 0 {
+			victims = append(victims, j)
+		}
+	}
+	if len(victims) == 0 {
+		return cl.IdleCores() >= need
+	}
+	SortByPriority(victims, now, s.opts.Weights, s.fs)
+	for i := len(victims) - 1; i >= 0 && cl.IdleCores() < need; i-- {
+		j := victims[i]
+		take := j.ShrinkableBy()
+		if missing := need - cl.IdleCores(); take > missing {
+			take = missing
+		}
+		if take <= 0 {
+			continue
+		}
+		if err := mm.ShrinkJob(j, take); err != nil {
+			continue
+		}
+		res.Resizes = append(res.Resizes, Resize{Job: j, Cores: -take})
+	}
+	return cl.IdleCores() >= need
+}
+
+// growMalleable hands leftover idle cores to running malleable jobs,
+// highest priority first, without disturbing the reservations held in
+// the planning profile. Runs at the end of the iteration.
+func (s *Scheduler) growMalleable(now sim.Time, rm ResourceManager, final *profile.Profile, res *IterationResult) {
+	mm, ok := rm.(MalleableManager)
+	if !ok || !s.opts.Malleable {
+		return
+	}
+	cl := rm.Cluster()
+	var candidates []*job.Job
+	for _, j := range rm.ActiveJobs() {
+		if j.GrowableBy() > 0 {
+			candidates = append(candidates, j)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	SortByPriority(candidates, now, s.opts.Weights, s.fs)
+	sort.SliceStable(candidates, func(i, k int) bool {
+		// Among equal priorities prefer the job that can use more.
+		return candidates[i].GrowableBy() > candidates[k].GrowableBy()
+	})
+	for _, j := range candidates {
+		if cl.IdleCores() == 0 {
+			return
+		}
+		want := j.GrowableBy()
+		if idle := cl.IdleCores(); want > idle {
+			want = idle
+		}
+		// The grown cores stay with the job until its walltime end;
+		// they must not be promised to a reservation. Find the largest
+		// grant the profile admits right now for that whole window.
+		end := j.StartTime + j.Walltime
+		if end <= now {
+			continue
+		}
+		for want > 0 && final.MinFree(now, end) < want {
+			want--
+		}
+		if want <= 0 {
+			continue
+		}
+		if _, err := mm.GrowJob(j, want); err != nil {
+			continue
+		}
+		final.AddHold(now, end, want)
+		res.Resizes = append(res.Resizes, Resize{Job: j, Cores: want})
+	}
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"repro/internal/job"
+	"repro/internal/profile"
+	"repro/internal/sim"
+)
+
+// moldToFit implements moldable jobs (the second class of Feitelson &
+// Rudolph's taxonomy, §I): before starting, the batch system may
+// adjust a moldable job's request within [MinCores, MaxCores] — down
+// so it starts now instead of waiting, or up to use abundant idle
+// resources. Returns the chosen size (0 = molding does not help now).
+//
+// The decision respects the planning profile: the molded allocation
+// must stay available for the whole walltime window, so reservations
+// are never disturbed.
+func (s *Scheduler) moldToFit(p *profile.Profile, j *job.Job, now sim.Time) int {
+	if !s.opts.Moldable || j.Class != job.Moldable {
+		return 0
+	}
+	min := j.MinCores
+	if min <= 0 {
+		min = j.Cores
+	}
+	max := j.MaxCores
+	if max < j.Cores {
+		max = j.Cores
+	}
+	avail := p.MinFree(now, holdEnd(now, j.Walltime))
+	if avail < min {
+		return 0 // cannot start even at the smallest shape
+	}
+	c := avail
+	if c > max {
+		c = max
+	}
+	return c
+}

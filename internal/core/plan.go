@@ -1,0 +1,100 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/profile"
+	"repro/internal/sim"
+)
+
+// Planned is the outcome of the planning pass for one queued job: the
+// earliest start the scheduler found, and whether the job's slot is
+// protected by a hold (it will start now, or it is within reservation
+// depth).
+type Planned struct {
+	Job   *job.Job
+	Start sim.Time
+	// Held reports whether the plan placed a hold (StartNow jobs and
+	// the first maxHeld blocked jobs — Maui reservations).
+	Held bool
+	// StartNow reports whether the job can start immediately.
+	StartNow bool
+}
+
+// buildProfile constructs the availability profile of a cluster state:
+// idle cores now, plus the walltime-based releases of all active jobs
+// (including any dynamically acquired cores, which are reserved until
+// the evolving job's walltime end, §III-D).
+func buildProfile(now sim.Time, cl *cluster.Cluster, active []*job.Job) *profile.Profile {
+	p := profile.New(now, cl.IdleCores())
+	for _, j := range active {
+		end := j.StartTime + j.Walltime
+		if end <= now {
+			// Job overran its walltime (possible in live mode between
+			// enforcement passes): assume imminent release.
+			end = now + sim.Second
+		}
+		p.AddRelease(end, j.TotalCores())
+	}
+	return p
+}
+
+// planJobs runs the reservation planning pass of the Maui iteration:
+// jobs are placed in the given (priority) order; StartNow jobs and the
+// first maxHeld blocked jobs receive holds in the profile (these are
+// the reservations); later blocked jobs get an optimistic earliest
+// start computed against the profile as left by the held jobs, without
+// adding holds (they are backfill candidates). The profile is mutated.
+func planJobs(p *profile.Profile, ordered []*job.Job, now sim.Time, maxHeld int) []Planned {
+	plans := make([]Planned, 0, len(ordered))
+	blocked := 0
+	for _, j := range ordered {
+		start := p.FindSlot(j.Cores, j.Walltime, now)
+		pl := Planned{Job: j, Start: start}
+		if start == now {
+			pl.StartNow = true
+			pl.Held = true
+			p.AddHold(start, holdEnd(start, j.Walltime), j.Cores)
+		} else if start < sim.Forever && blocked < maxHeld {
+			pl.Held = true
+			blocked++
+			p.AddHold(start, holdEnd(start, j.Walltime), j.Cores)
+		}
+		plans = append(plans, pl)
+	}
+	return plans
+}
+
+func holdEnd(start sim.Time, wall sim.Duration) sim.Time {
+	if wall >= sim.Forever-start {
+		return sim.Forever
+	}
+	return start + wall
+}
+
+// startsByID indexes planned starts for delay comparison.
+func startsByID(plans []Planned) map[job.ID]sim.Time {
+	m := make(map[job.ID]sim.Time, len(plans))
+	for _, p := range plans {
+		m[p.Job.ID] = p.Start
+	}
+	return m
+}
+
+// delaySet selects the jobs whose delays the extended iteration
+// measures: every StartNow job plus the first delayDepth blocked jobs
+// (Fig. 5: ReservationDelayDepth governs the StartLater jobs counted).
+func delaySet(plans []Planned, delayDepth int) []Planned {
+	var out []Planned
+	blocked := 0
+	for _, p := range plans {
+		switch {
+		case p.StartNow:
+			out = append(out, p)
+		case p.Start < sim.Forever && blocked < delayDepth:
+			out = append(out, p)
+			blocked++
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/profile"
+	"repro/internal/sim"
+)
+
+func planJob(id int, cores int, wall sim.Duration) *job.Job {
+	return &job.Job{ID: job.ID(id), Cores: cores, Walltime: wall, State: job.Queued}
+}
+
+func TestBuildProfile(t *testing.T) {
+	cl := cluster.New(2, 8)
+	a := &job.Job{ID: 1, Cores: 8, Walltime: sim.Hour, StartTime: 0, State: job.Running}
+	cl.Allocate(1, 8)
+	b := &job.Job{ID: 2, Cores: 4, DynCores: 2, Walltime: 2 * sim.Hour, StartTime: 0, State: job.Running}
+	cl.Allocate(2, 6)
+	p := buildProfile(30*sim.Minute, cl, []*job.Job{a, b})
+	if got := p.FreeAt(30 * sim.Minute); got != 2 {
+		t.Errorf("free now = %d", got)
+	}
+	// a releases 8 at its walltime end (1h).
+	if got := p.FreeAt(sim.Hour); got != 10 {
+		t.Errorf("free at 1h = %d", got)
+	}
+	// b releases base+dyn (6) at 2h.
+	if got := p.FreeAt(2 * sim.Hour); got != 16 {
+		t.Errorf("free at 2h = %d", got)
+	}
+}
+
+func TestBuildProfileOverrunJob(t *testing.T) {
+	// A job past its walltime is assumed to release imminently.
+	cl := cluster.New(1, 8)
+	a := &job.Job{ID: 1, Cores: 8, Walltime: sim.Minute, StartTime: 0, State: job.Running}
+	cl.Allocate(1, 8)
+	now := 10 * sim.Minute
+	p := buildProfile(now, cl, []*job.Job{a})
+	if got := p.FreeAt(now); got != 0 {
+		t.Errorf("free now = %d", got)
+	}
+	if got := p.FreeAt(now + sim.Second); got != 8 {
+		t.Errorf("free after imminent release = %d", got)
+	}
+}
+
+// TestPlanJobsHeldDepth verifies the Fig. 5 mechanics: StartNow jobs
+// always hold; blocked jobs hold only up to maxHeld; the rest get
+// optimistic starts without holds.
+func TestPlanJobsHeldDepth(t *testing.T) {
+	// 8 cores free now, 8 more at t=1h.
+	p := profile.New(0, 8)
+	p.AddRelease(sim.Hour, 8)
+	jobs := []*job.Job{
+		planJob(1, 8, 30*sim.Minute), // StartNow
+		planJob(2, 16, sim.Hour),     // blocked → held (depth 1)
+		planJob(3, 16, sim.Hour),     // blocked → beyond depth, no hold
+	}
+	plans := planJobs(p, jobs, 0, 1)
+	if !plans[0].StartNow || !plans[0].Held {
+		t.Errorf("job1 = %+v", plans[0])
+	}
+	if plans[1].StartNow || !plans[1].Held {
+		t.Errorf("job2 = %+v", plans[1])
+	}
+	// Job2's reservation: 16 cores need job1's hold to clear (30 min)
+	// AND the 1h release → earliest 1h.
+	if plans[1].Start != sim.Hour {
+		t.Errorf("job2 start = %v", plans[1].Start)
+	}
+	if plans[2].Held {
+		t.Errorf("job3 should be beyond the hold depth: %+v", plans[2])
+	}
+	// Job3's optimistic start ignores job2? No: job2 holds [1h, 2h),
+	// so job3 sees 16 free only at 2h.
+	if plans[2].Start != 2*sim.Hour {
+		t.Errorf("job3 start = %v", plans[2].Start)
+	}
+}
+
+func TestPlanJobsImpossibleJob(t *testing.T) {
+	p := profile.New(0, 8)
+	jobs := []*job.Job{planJob(1, 100, sim.Hour)}
+	plans := planJobs(p, jobs, 0, 5)
+	if plans[0].Start != sim.Forever || plans[0].Held {
+		t.Errorf("impossible job plan = %+v", plans[0])
+	}
+}
+
+func TestDelaySet(t *testing.T) {
+	mk := func(id int, startNow, held bool, start sim.Time) Planned {
+		return Planned{Job: planJob(id, 1, sim.Hour), StartNow: startNow, Held: held, Start: start}
+	}
+	plans := []Planned{
+		mk(1, true, true, 0),
+		mk(2, false, true, sim.Hour),     // blocked 1
+		mk(3, false, false, 2*sim.Hour),  // blocked 2
+		mk(4, false, false, 3*sim.Hour),  // blocked 3 — beyond delay depth 2
+		mk(5, true, true, 0),             // StartNow always included
+		mk(6, false, false, sim.Forever), // never fits — excluded
+	}
+	got := delaySet(plans, 2)
+	ids := make([]job.ID, len(got))
+	for i, p := range got {
+		ids[i] = p.Job.ID
+	}
+	want := []job.ID{1, 2, 3, 5}
+	if len(ids) != len(want) {
+		t.Fatalf("delay set = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("delay set = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestHoldEndOverflow(t *testing.T) {
+	if holdEnd(100, sim.Forever) != sim.Forever {
+		t.Error("walltime overflow must clamp to Forever")
+	}
+	if holdEnd(100, 50) != 150 {
+		t.Error("normal hold end")
+	}
+}

@@ -1,0 +1,140 @@
+// Package core implements the scheduler at the heart of the paper's
+// batch system: a Maui-style iteration (Algorithm 1) extended with
+// dynamic-request scheduling and dynamic fairness (Algorithm 2).
+//
+// The scheduler is stateless across the cluster — it plans against a
+// snapshot each iteration exactly like Maui ("refresh reservations") —
+// but stateful in its fairness accounting and fairshare usage. The same
+// Scheduler drives both the discrete-event simulator and the live
+// TCP daemons; only the ResourceManager implementation differs.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// PriorityWeights configures Maui-style job prioritization factors.
+// Priority = SystemPriority·1e12 (admin boost, dominates everything)
+// + QueueTime·minutes-waiting + XFactor·expansion-factor
+// + Resource·requested-cores + Fairshare·fairshare-factor.
+type PriorityWeights struct {
+	QueueTime float64 // per minute of queue wait
+	XFactor   float64 // expansion factor (1 + wait/walltime)
+	Resource  float64 // per requested core
+	Fairshare float64 // per unit of fairshare deficit (see Fairshare)
+}
+
+// DefaultWeights mirrors a plain queue-time-driven Maui setup: FIFO
+// order among equal-priority jobs, with administrative SystemPriority
+// able to lift jobs (the ESP Z-jobs) over everything.
+func DefaultWeights() PriorityWeights {
+	return PriorityWeights{QueueTime: 1}
+}
+
+// systemPriorityScale keeps any admin boost above every achievable
+// combination of the other factors.
+const systemPriorityScale = 1e12
+
+// Priority computes the priority of a queued job at the given time.
+func (w PriorityWeights) Priority(j *job.Job, now sim.Time, fs *Fairshare) float64 {
+	waitMin := sim.MinutesOf(now - j.SubmitTime)
+	if waitMin < 0 {
+		waitMin = 0
+	}
+	p := float64(j.SystemPriority) * systemPriorityScale
+	p += w.QueueTime * waitMin
+	if w.XFactor != 0 && j.Walltime > 0 {
+		p += w.XFactor * (1 + float64(now-j.SubmitTime)/float64(j.Walltime))
+	}
+	p += w.Resource * float64(j.Cores)
+	if w.Fairshare != 0 && fs != nil {
+		p += w.Fairshare * fs.Factor(j.Cred.User)
+	}
+	return p
+}
+
+// SortByPriority orders jobs by descending priority; ties break by
+// earlier submission, then lower ID, keeping the order deterministic.
+func SortByPriority(jobs []*job.Job, now sim.Time, w PriorityWeights, fs *Fairshare) {
+	prio := make(map[job.ID]float64, len(jobs))
+	for _, j := range jobs {
+		prio[j.ID] = w.Priority(j, now, fs)
+	}
+	sort.SliceStable(jobs, func(a, b int) bool {
+		pa, pb := prio[jobs[a].ID], prio[jobs[b].ID]
+		if pa != pb {
+			return pa > pb
+		}
+		if jobs[a].SubmitTime != jobs[b].SubmitTime {
+			return jobs[a].SubmitTime < jobs[b].SubmitTime
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+}
+
+// Fairshare tracks historical per-user resource usage with exponential
+// interval decay, the usual Maui fairshare mechanism. The factor of a
+// user is targetShare − actualShare: positive for underserved users.
+type Fairshare struct {
+	interval      sim.Duration
+	decay         float64
+	intervalStart sim.Time
+	usage         map[string]float64 // decayed core-seconds per user
+	total         float64
+}
+
+// NewFairshare creates a tracker with the given accounting interval
+// and per-interval decay (e.g. 24h, 0.7).
+func NewFairshare(interval sim.Duration, decay float64) *Fairshare {
+	if interval <= 0 {
+		interval = 24 * sim.Hour
+	}
+	return &Fairshare{interval: interval, decay: decay, usage: make(map[string]float64)}
+}
+
+// Advance rolls accounting intervals up to now.
+func (f *Fairshare) Advance(now sim.Time) {
+	for now >= f.intervalStart+f.interval {
+		f.intervalStart += f.interval
+		f.total = 0
+		for u, v := range f.usage {
+			nv := v * f.decay
+			if nv < 1e-9 {
+				delete(f.usage, u)
+				continue
+			}
+			f.usage[u] = nv
+			f.total += nv
+		}
+	}
+}
+
+// Record charges core-seconds of usage to a user.
+func (f *Fairshare) Record(user string, coreSeconds float64) {
+	if coreSeconds <= 0 {
+		return
+	}
+	f.usage[user] += coreSeconds
+	f.total += coreSeconds
+}
+
+// Factor returns targetShare − actualShare in [−1, 1]; users that used
+// more than an equal share get a negative factor. With no usage at all
+// every user gets 0.
+func (f *Fairshare) Factor(user string) float64 {
+	if f.total <= 0 {
+		return 0
+	}
+	nUsers := len(f.usage)
+	if nUsers == 0 {
+		return 0
+	}
+	target := 1.0 / float64(nUsers)
+	return target - f.usage[user]/f.total
+}
+
+// Usage returns the decayed usage recorded for a user.
+func (f *Fairshare) Usage(user string) float64 { return f.usage[user] }

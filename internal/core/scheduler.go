@@ -1,0 +1,426 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/fairness"
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// ResourceManager is the scheduler's view of the resource manager
+// (Torque in the paper). The simulator and the live server both
+// implement it; the scheduler makes decisions and invokes the
+// mutating calls, observing their effect through Cluster().
+type ResourceManager interface {
+	// Cluster returns the live resource state. The scheduler reads it
+	// and sees mutations made by StartJob/GrantDyn immediately.
+	Cluster() *cluster.Cluster
+	// QueuedJobs returns the static jobs waiting for allocation.
+	QueuedJobs() []*job.Job
+	// ActiveJobs returns jobs currently holding resources.
+	ActiveJobs() []*job.Job
+	// DynRequests returns pending dynamic requests in FIFO order.
+	DynRequests() []*job.DynRequest
+	// StartJob allocates resources for a queued job and starts it.
+	StartJob(j *job.Job) (cluster.Alloc, error)
+	// GrantDyn expands a running job's allocation per the request.
+	GrantDyn(r *job.DynRequest) (cluster.Alloc, error)
+	// RejectDyn declines a dynamic request; the application continues
+	// on its current allocation (and may retry later).
+	RejectDyn(r *job.DynRequest, reason string)
+	// Preempt stops a running job and requeues it (used only when the
+	// site enables PREEMPTPOLICY REQUEUE for dynamic requests).
+	Preempt(j *job.Job) error
+}
+
+// Options bundles the scheduler configuration.
+type Options struct {
+	Config  *config.SchedConfig
+	Weights PriorityWeights
+	// MaxIdleJobsPerUser throttles eligibility: at most this many
+	// queued jobs per user are considered each iteration (0 = all).
+	MaxIdleJobsPerUser int
+	// StrictSystemPriority enforces the ESP Z-job rule: while any job
+	// with SystemPriority > 0 is queued, only such jobs may start and
+	// backfill is disabled.
+	StrictSystemPriority bool
+	// DynRequestsAfterBackfill inverts Algorithm 2's ordering and
+	// serves dynamic requests only from what backfilling left over.
+	// The paper argues for dynamic-before-backfill (§IV-B); this
+	// switch exists for the ablation benchmark.
+	DynRequestsAfterBackfill bool
+	// Malleable enables scheduler-initiated resizing of malleable
+	// jobs when the ResourceManager implements MalleableManager:
+	// shrink to serve dynamic requests, grow from leftover idle
+	// cores (§VI future work).
+	Malleable bool
+	// Moldable lets the scheduler adjust moldable jobs' requests
+	// within [MinCores, MaxCores] before start (§I taxonomy).
+	Moldable bool
+}
+
+// DynDecision records the outcome of one dynamic request.
+type DynDecision struct {
+	Req     *job.DynRequest
+	Granted bool
+	Reason  string // rejection reason
+	// Deferred marks a negotiable request (one with a deadline) that
+	// could not be served this iteration and stays queued — the
+	// negotiation protocol of §III-C.
+	Deferred bool
+	// AvailableAt is the batch system's estimate of when the requested
+	// resources could become free (walltime-based), reported on
+	// insufficient-resource outcomes; sim.Forever when never.
+	AvailableAt sim.Time
+	// Delays are the measured per-job delays that informed the
+	// fairness decision (granted or not).
+	Delays []fairness.JobDelay
+}
+
+// IterationResult reports what one scheduling iteration did.
+type IterationResult struct {
+	Now          sim.Time
+	Started      []*job.Job // jobs started in priority order
+	Backfilled   []*job.Job // jobs started out of order
+	Reservations []Planned  // blocked jobs holding reservations
+	DynDecisions []DynDecision
+	Preempted    []*job.Job
+	// Resizes lists scheduler-initiated malleable grow/shrink actions.
+	Resizes []Resize
+}
+
+// GrantedCount returns how many dynamic requests were granted.
+func (r *IterationResult) GrantedCount() int {
+	n := 0
+	for _, d := range r.DynDecisions {
+		if d.Granted {
+			n++
+		}
+	}
+	return n
+}
+
+// Scheduler implements the extended Maui iteration (Algorithm 2).
+// When no dynamic requests are pending the iteration degenerates to
+// the original Algorithm 1.
+type Scheduler struct {
+	opts Options
+	fair *fairness.Tracker
+	fs   *Fairshare
+
+	iterations uint64
+}
+
+// New creates a scheduler. A nil cfg uses config.Default(); the
+// fairness tracker starts its first interval at startTime.
+func New(opts Options, startTime sim.Time) *Scheduler {
+	if opts.Config == nil {
+		opts.Config = config.Default()
+	}
+	if opts.Weights == (PriorityWeights{}) {
+		opts.Weights = DefaultWeights()
+	}
+	return &Scheduler{
+		opts: opts,
+		fair: fairness.NewTracker(opts.Config.Fairness, startTime),
+		fs:   NewFairshare(24*sim.Hour, 0.7),
+	}
+}
+
+// FairnessTracker exposes the DFS accounting state (for reports/tests).
+func (s *Scheduler) FairnessTracker() *fairness.Tracker { return s.fair }
+
+// Fairshare exposes the historical-usage tracker; the resource manager
+// records completed jobs' usage here.
+func (s *Scheduler) Fairshare() *Fairshare { return s.fs }
+
+// Iterations returns how many scheduling iterations have run.
+func (s *Scheduler) Iterations() uint64 { return s.iterations }
+
+// Options returns the scheduler's options.
+func (s *Scheduler) Options() Options { return s.opts }
+
+// maxHeld is the planning depth for delay measurement: the number of
+// StartLater jobs considered is max(ReservationDepth,
+// ReservationDelayDepth) per §III-C / Fig. 5.
+func (s *Scheduler) maxHeld() int {
+	d := s.opts.Config.ReservationDepth
+	if s.opts.Config.ReservationDelayDepth > d {
+		d = s.opts.Config.ReservationDelayDepth
+	}
+	return d
+}
+
+// selectEligible applies throttling policies (step 6 of Algorithm 1).
+func (s *Scheduler) selectEligible(queued []*job.Job) []*job.Job {
+	if s.opts.MaxIdleJobsPerUser <= 0 {
+		return queued
+	}
+	perUser := make(map[string]int)
+	out := queued[:0:0]
+	for _, j := range queued {
+		if perUser[j.Cred.User] < s.opts.MaxIdleJobsPerUser {
+			perUser[j.Cred.User]++
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Iterate runs one scheduling iteration at virtual time now against
+// the resource manager, and returns what it decided. This is
+// Algorithm 2 of the paper; with an empty dynamic-request queue it is
+// exactly Algorithm 1.
+func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
+	s.iterations++
+	res := &IterationResult{Now: now}
+	cl := rm.Cluster()
+
+	// Steps 2–5: obtain resource/workload information, update
+	// statistics, refresh reservations (reservations are re-derived
+	// from scratch below, as Maui does each iteration).
+	s.fair.Advance(now)
+	s.fs.Advance(now)
+
+	// Steps 6–9: select and prioritize eligible static jobs and
+	// dynamic requests. Static jobs use the priority factors; dynamic
+	// requests stay in FIFO order (the RM returns them that way).
+	eligible := s.selectEligible(rm.QueuedJobs())
+	ordered := make([]*job.Job, len(eligible))
+	copy(ordered, eligible)
+	SortByPriority(ordered, now, s.opts.Weights, s.fs)
+	dynReqs := rm.DynRequests()
+
+	// Steps 10–24: schedule static jobs and create reservations
+	// without starting them, then process each dynamic request in
+	// FIFO order. The baseline plan is rebuilt per request inside
+	// processDynRequest because each grant changes the profile.
+	processDyn := func() {
+		for _, req := range dynReqs {
+			dec := s.processDynRequest(now, rm, req, ordered, res)
+			res.DynDecisions = append(res.DynDecisions, dec)
+		}
+	}
+	if !s.opts.DynRequestsAfterBackfill {
+		processDyn()
+	}
+
+	// Step 25: schedule static jobs in priority order and start the
+	// ones that fit now. The plan is rebuilt because granted dynamic
+	// requests consumed resources.
+	startNowBlocked := false
+	if s.opts.StrictSystemPriority {
+		for _, j := range ordered {
+			if j.SystemPriority > 0 {
+				startNowBlocked = true
+				break
+			}
+		}
+	}
+
+	// Steps 25–26 merged: walk the queue in priority order. Jobs that
+	// fit now start; once a higher-priority job has blocked, further
+	// starts are by definition backfill (they run out of order), which
+	// is allowed only when backfill is enabled and no system-priority
+	// (Z) job is waiting. The top ReservationDepth blocked jobs place
+	// reservation holds so backfilled jobs cannot delay them.
+	final := buildProfile(now, cl, rm.ActiveJobs())
+	heldBlocked := 0
+	anyBlocked := false
+	for _, j := range ordered {
+		start := final.FindSlot(j.Cores, j.Walltime, now)
+		suppressed := (startNowBlocked && j.SystemPriority == 0) ||
+			(anyBlocked && s.opts.Config.BackfillPolicy == "NONE")
+		if !suppressed && j.Class == job.Moldable {
+			// Moldable jobs: reshape the request to start now (down)
+			// or to exploit abundance (up) before committing.
+			if c := s.moldToFit(final, j, now); c > 0 && c != j.Cores {
+				j.Cores = c
+				start = now
+			}
+		}
+		if start == now && !suppressed {
+			// Mark out-of-order starts before dispatch so the RM can
+			// log them as backfills.
+			j.Backfilled = anyBlocked
+			alloc, err := rm.StartJob(j)
+			if err == nil && alloc != nil {
+				if anyBlocked {
+					res.Backfilled = append(res.Backfilled, j)
+				} else {
+					res.Started = append(res.Started, j)
+				}
+				s.fair.ForgetJob(j.ID)
+				final.AddHold(now, holdEnd(now, j.Walltime), j.Cores)
+				continue
+			}
+			// Node-level fragmentation or a race in live mode: the
+			// core count fits but placement failed; treat as blocked.
+			j.Backfilled = false
+			anyBlocked = true
+			continue
+		}
+		if start > now {
+			anyBlocked = true
+		}
+		if start > now && start < sim.Forever && heldBlocked < s.opts.Config.ReservationDepth {
+			heldBlocked++
+			final.AddHold(start, holdEnd(start, j.Walltime), j.Cores)
+			res.Reservations = append(res.Reservations, Planned{Job: j, Start: start, Held: true})
+		}
+	}
+	if s.opts.DynRequestsAfterBackfill {
+		processDyn()
+	}
+
+	// Malleable growth: leftover idle cores go to running malleable
+	// jobs, never into reservation windows.
+	s.growMalleable(now, rm, final, res)
+	return res
+}
+
+// processDynRequest implements lines 12–23 of Algorithm 2 for one
+// dynamic request: allocate from idle (before preemptible) resources,
+// measure the delays a grant would cause to the StartNow and
+// StartLater jobs, gate on the dynamic fairness policies, then grant
+// or reject.
+func (s *Scheduler) processDynRequest(now sim.Time, rm ResourceManager, req *job.DynRequest, ordered []*job.Job, res *IterationResult) DynDecision {
+	dec := DynDecision{Req: req}
+	cl := rm.Cluster()
+	need := req.TotalCores()
+	if err := req.Validate(); err != nil {
+		rm.RejectDyn(req, err.Error())
+		dec.Reason = err.Error()
+		return dec
+	}
+	if !req.Job.Active() {
+		dec.Reason = "job no longer active"
+		rm.RejectDyn(req, dec.Reason)
+		return dec
+	}
+
+	// Allocation sources in the §II-B order: idle resources first,
+	// then stealing from malleable jobs, then preemption (if enabled).
+	if cl.IdleCores() < need {
+		ok := s.shrinkMalleable(now, rm, need, res)
+		if !ok && s.opts.Config.PreemptPolicy == "REQUEUE" {
+			ok = s.tryPreempt(now, rm, need, res)
+		}
+		if !ok {
+			// Estimate when the resources could become free — the
+			// "time of availability" half of the negotiation protocol.
+			dec.AvailableAt = s.estimateAvailability(now, rm, req, need)
+			if req.Negotiable() && !req.Expired(now) {
+				// Deferred: the request stays queued at the server and
+				// is retried every iteration until grant or deadline.
+				dec.Deferred = true
+				return dec
+			}
+			dec.Reason = fmt.Sprintf("insufficient resources (%d idle, %d needed; estimated available %s)",
+				cl.IdleCores(), need, sim.FormatTime(dec.AvailableAt))
+			rm.RejectDyn(req, dec.Reason)
+			return dec
+		}
+	}
+
+	// Measure delays: plan the static queue with and without the
+	// hypothetical grant. The grant holds the extra cores until the
+	// evolving job's walltime end (dynamic reservations run to the
+	// rest of the walltime, §III-D).
+	evolveEnd := req.Job.StartTime + req.Job.Walltime
+	if evolveEnd <= now {
+		evolveEnd = now + sim.Second
+	}
+	baseP := buildProfile(now, cl, rm.ActiveJobs())
+	candP := baseP.Clone()
+	candP.AddHold(now, evolveEnd, need)
+
+	basePlans := planJobs(baseP, ordered, now, s.maxHeld())
+	candPlans := planJobs(candP, ordered, now, s.maxHeld())
+	candStart := startsByID(candPlans)
+
+	measured := delaySet(basePlans, s.opts.Config.ReservationDelayDepth)
+	delays := make([]fairness.JobDelay, 0, len(measured))
+	for _, p := range measured {
+		cand, ok := candStart[p.Job.ID]
+		if !ok {
+			continue
+		}
+		d := cand - p.Start
+		if cand == sim.Forever || p.Start == sim.Forever {
+			d = 0
+			if cand == sim.Forever && p.Start < sim.Forever {
+				// The grant would push the job out entirely (only
+				// possible with infinite walltimes); treat as the
+				// remaining hold length.
+				d = evolveEnd - now
+			}
+		}
+		if d < 0 {
+			d = 0
+		}
+		delays = append(delays, fairness.JobDelay{Job: p.Job, Delay: d})
+	}
+	dec.Delays = delays
+
+	// Lines 14–20: the dynamic fairness gate.
+	verdict := s.fair.Evaluate(req.Job.Cred, delays)
+	if !verdict.Allowed {
+		if req.Negotiable() && !req.Expired(now) {
+			// A later iteration may measure smaller delays (victims
+			// start, budgets decay): keep negotiating.
+			dec.Deferred = true
+			dec.Reason = verdict.Reason
+			return dec
+		}
+		dec.Reason = verdict.Reason
+		rm.RejectDyn(req, dec.Reason)
+		return dec
+	}
+	alloc, err := rm.GrantDyn(req)
+	if err != nil || alloc == nil {
+		dec.Reason = fmt.Sprintf("allocation failed: %v", err)
+		rm.RejectDyn(req, dec.Reason)
+		return dec
+	}
+	s.fair.Charge(req.Job.Cred, delays)
+	dec.Granted = true
+	return dec
+}
+
+// estimateAvailability computes the earliest walltime-based instant at
+// which the requested cores could be continuously free for the rest of
+// the evolving job's walltime.
+func (s *Scheduler) estimateAvailability(now sim.Time, rm ResourceManager, req *job.DynRequest, need int) sim.Time {
+	dur := req.Job.RemainingWalltime(now)
+	if dur <= 0 {
+		dur = sim.Second
+	}
+	p := buildProfile(now, rm.Cluster(), rm.ActiveJobs())
+	return p.FindSlot(need, dur, now)
+}
+
+// tryPreempt frees cores for a dynamic request by requeueing
+// backfilled or explicitly preemptible running jobs, lowest priority
+// first. Returns true if after preemption enough cores are idle.
+func (s *Scheduler) tryPreempt(now sim.Time, rm ResourceManager, need int, res *IterationResult) bool {
+	cl := rm.Cluster()
+	var victims []*job.Job
+	for _, j := range rm.ActiveJobs() {
+		if j.Backfilled || j.Preemptible {
+			victims = append(victims, j)
+		}
+	}
+	// Lowest priority first = reverse of the priority order.
+	SortByPriority(victims, now, s.opts.Weights, s.fs)
+	for i := len(victims) - 1; i >= 0 && cl.IdleCores() < need; i-- {
+		if err := rm.Preempt(victims[i]); err != nil {
+			continue
+		}
+		res.Preempted = append(res.Preempted, victims[i])
+	}
+	return cl.IdleCores() >= need
+}

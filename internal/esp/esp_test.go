@@ -1,0 +1,227 @@
+package esp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/rms"
+	"repro/internal/sim"
+)
+
+func TestTableIShape(t *testing.T) {
+	types := TableI()
+	if len(types) != 14 {
+		t.Fatalf("types = %d, want 14", len(types))
+	}
+	total, evolving := 0, 0
+	for _, ty := range types {
+		total += ty.Count
+		if ty.Evolving {
+			evolving += ty.Count
+		}
+	}
+	if total != 230 {
+		t.Errorf("total jobs = %d, want 230", total)
+	}
+	if evolving != 69 {
+		t.Errorf("evolving jobs = %d, want 69 (30%%)", evolving)
+	}
+	// All evolving types belong to user06 and have DET < SET.
+	for _, ty := range types {
+		if ty.Evolving {
+			if ty.User != "user06" {
+				t.Errorf("evolving type %s user = %s", ty.Name, ty.User)
+			}
+			if ty.DET <= 0 || ty.DET >= ty.SET {
+				t.Errorf("type %s DET %v not in (0, SET)", ty.Name, ty.DET)
+			}
+		} else if ty.DET != 0 {
+			t.Errorf("rigid type %s has DET", ty.Name)
+		}
+	}
+	z, ok := TypeByName("Z")
+	if !ok || z.SizeFrac != 1.0 || z.Count != 2 || z.SET != 100*sim.Second {
+		t.Errorf("Z type = %+v", z)
+	}
+	if _, ok := TypeByName("Q"); ok {
+		t.Error("unknown type lookup should fail")
+	}
+}
+
+func TestCoresScaling(t *testing.T) {
+	a, _ := TypeByName("A")
+	if a.Cores(120) != 4 { // 3.75 rounds to 4
+		t.Errorf("A cores on 120 = %d", a.Cores(120))
+	}
+	if a.Cores(512) != 16 {
+		t.Errorf("A cores on 512 = %d", a.Cores(512))
+	}
+	h, _ := TypeByName("H")
+	if h.Cores(120) != 19 { // 18.98
+		t.Errorf("H cores = %d", h.Cores(120))
+	}
+	z, _ := TypeByName("Z")
+	if z.Cores(120) != 120 {
+		t.Errorf("Z cores = %d", z.Cores(120))
+	}
+	tiny := JobType{SizeFrac: 0.001}
+	if tiny.Cores(120) != 1 {
+		t.Error("minimum one core")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w1 := Generate(DefaultOpts())
+	w2 := Generate(DefaultOpts())
+	if len(w1.Items) != len(w2.Items) {
+		t.Fatal("lengths differ")
+	}
+	for i := range w1.Items {
+		if w1.Items[i].Job.Name != w2.Items[i].Job.Name || w1.Items[i].SubmitAt != w2.Items[i].SubmitAt {
+			t.Fatalf("item %d differs: %s@%v vs %s@%v", i,
+				w1.Items[i].Job.Name, w1.Items[i].SubmitAt,
+				w2.Items[i].Job.Name, w2.Items[i].SubmitAt)
+		}
+	}
+	opts := DefaultOpts()
+	opts.Seed = 99
+	w3 := Generate(opts)
+	same := true
+	for i := range w1.Items[:228] {
+		if w1.Items[i].Job.Name != w3.Items[i].Job.Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should shuffle differently")
+	}
+}
+
+func TestGenerateSubmissionSchedule(t *testing.T) {
+	w := Generate(DefaultOpts())
+	total, evolving, rigid := w.Counts()
+	if total != 230 || evolving != 69 || rigid != 161 {
+		t.Fatalf("counts = %d/%d/%d", total, evolving, rigid)
+	}
+	// First 50 regular jobs at t=0.
+	for i := 0; i < 50; i++ {
+		if w.Items[i].SubmitAt != 0 {
+			t.Fatalf("item %d submit = %v", i, w.Items[i].SubmitAt)
+		}
+		if w.Items[i].Type.Name == "Z" {
+			t.Fatal("Z must not be in the initial batch")
+		}
+	}
+	// Remaining 178 regular jobs at 30 s intervals.
+	for i := 50; i < 228; i++ {
+		want := sim.Time(i-49) * 30 * sim.Second
+		if w.Items[i].SubmitAt != want {
+			t.Fatalf("item %d submit = %v, want %v", i, w.Items[i].SubmitAt, want)
+		}
+	}
+	// Z jobs 30 minutes after the last regular submission.
+	lastRegular := w.Items[227].SubmitAt
+	for _, it := range w.Items[228:] {
+		if it.Type.Name != "Z" {
+			t.Fatal("last two items must be Z")
+		}
+		if it.SubmitAt != lastRegular+30*sim.Minute {
+			t.Errorf("Z submit = %v, want %v", it.SubmitAt, lastRegular+30*sim.Minute)
+		}
+		if it.Job.SystemPriority <= 0 {
+			t.Error("Z jobs carry system priority")
+		}
+	}
+}
+
+func TestGenerateDynamicVsStatic(t *testing.T) {
+	dyn := Generate(DefaultOpts())
+	evolvingApps := 0
+	for _, it := range dyn.Items {
+		if _, ok := it.App.(*rms.EvolvingApp); ok {
+			evolvingApps++
+			if !it.Type.Evolving {
+				t.Error("rigid type with evolving app")
+			}
+			if it.Job.Class != job.Evolving {
+				t.Error("evolving app job class")
+			}
+		}
+	}
+	if evolvingApps != 69 {
+		t.Errorf("evolving apps = %d", evolvingApps)
+	}
+	opts := DefaultOpts()
+	opts.Dynamic = false
+	static := Generate(opts)
+	for _, it := range static.Items {
+		if _, ok := it.App.(*rms.EvolvingApp); ok {
+			t.Fatal("static workload must not contain evolving apps")
+		}
+	}
+}
+
+func TestTotalWork(t *testing.T) {
+	w := Generate(DefaultOpts())
+	work := w.TotalWork()
+	// Hand-computed core-seconds for 120 cores (see DESIGN.md):
+	// ≈ 1.35e6. Allow rounding slack.
+	if work < 1.30e6 || work > 1.40e6 {
+		t.Errorf("total work = %v core-seconds", work)
+	}
+}
+
+func TestFormatTableI(t *testing.T) {
+	s := FormatTableI(120)
+	if !strings.Contains(s, "user06") || !strings.Contains(s, "1846") {
+		t.Errorf("table missing rows:\n%s", s)
+	}
+	lines := strings.Count(s, "\n")
+	if lines != 15 { // header + 14 types
+		t.Errorf("table lines = %d", lines)
+	}
+}
+
+func TestGenerateDegenerateOpts(t *testing.T) {
+	w := Generate(GenOpts{})
+	if len(w.Items) != 230 {
+		t.Error("zero-value opts should still generate the full workload")
+	}
+	if w.Opts.TotalCores != 120 || w.Opts.WalltimeFactor != 1 {
+		t.Errorf("defaults not applied: %+v", w.Opts)
+	}
+}
+
+func TestWalltimeFactor(t *testing.T) {
+	opts := DefaultOpts()
+	opts.WalltimeFactor = 1.5
+	w := Generate(opts)
+	for _, it := range w.Items {
+		want := sim.Duration(1.5 * float64(it.Type.SET))
+		if it.Job.Walltime != want {
+			t.Fatalf("%s walltime = %v, want %v", it.Job.Name, it.Job.Walltime, want)
+		}
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	// 1200 core-seconds on 12 cores: best makespan 100 s.
+	if got := Efficiency(1200, 12, 100*sim.Second); got != 1 {
+		t.Errorf("perfect efficiency = %v", got)
+	}
+	if got := Efficiency(1200, 12, 200*sim.Second); got != 0.5 {
+		t.Errorf("half efficiency = %v", got)
+	}
+	if Efficiency(1200, 0, 100) != 0 || Efficiency(1200, 12, 0) != 0 {
+		t.Error("degenerate efficiency should be 0")
+	}
+	// The real workload: efficiency equals utilization modulo the
+	// dynamic-speedup effect; sanity-band it for the static run.
+	w := Generate(DefaultOpts())
+	e := Efficiency(w.TotalWork(), 120, sim.Duration(228*60)*sim.Second)
+	if e < 0.7 || e > 0.95 {
+		t.Errorf("static-run efficiency = %v", e)
+	}
+}

@@ -1,0 +1,248 @@
+// Package experiments assembles full paper experiments from the
+// building blocks: the four dynamic-ESP configurations of Table II
+// (Static, Dyn-HP, Dyn-500, Dyn-600) with the waiting-time series of
+// Figs. 8–11, the Quadflow runs of Fig. 7, and sweep utilities for the
+// ablation benchmarks listed in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/esp"
+	"repro/internal/fairness"
+	"repro/internal/metrics"
+	"repro/internal/rms"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ESPConfig names one evaluation configuration of §IV-B.
+type ESPConfig struct {
+	Name string
+	// Dynamic enables the evolving behaviour of types F–J.
+	Dynamic bool
+	// TargetDelay, when > 0, limits each static user's cumulative
+	// delay per DFS interval (the paper's Dyn-500/Dyn-600 configs).
+	// Zero with Dynamic=true is the highest-priority configuration.
+	TargetDelay sim.Duration
+	// Interval is the DFS accounting interval (paper: 1 h).
+	Interval sim.Duration
+	// Decay is the DFSDecay carried across intervals.
+	Decay float64
+	// Mutate, when set, adjusts the scheduler config (ablations).
+	Mutate func(*config.SchedConfig)
+	// CoreOpts, when set, adjusts the scheduler options (ablations
+	// such as dynamic-requests-after-backfill).
+	CoreOpts func(*core.Options)
+}
+
+// StandardConfigs returns the paper's four Table II configurations.
+func StandardConfigs() []ESPConfig {
+	return []ESPConfig{
+		{Name: "Static"},
+		{Name: "Dyn-HP", Dynamic: true},
+		{Name: "Dyn-500", Dynamic: true, TargetDelay: 500 * sim.Second, Interval: sim.Hour},
+		{Name: "Dyn-600", Dynamic: true, TargetDelay: 600 * sim.Second, Interval: sim.Hour},
+	}
+}
+
+// staticUsers are the rigid-job users of Table I whose delay the
+// Dyn-500/Dyn-600 configurations bound ("the cumulative delay for each
+// static user's jobs").
+func staticUsers() []string {
+	var users []string
+	seen := map[string]bool{}
+	for _, t := range esp.TableI() {
+		if !t.Evolving && !seen[t.User] {
+			seen[t.User] = true
+			users = append(users, t.User)
+		}
+	}
+	return users
+}
+
+// SchedConfig builds the scheduler configuration for an ESP config.
+func (c ESPConfig) SchedConfig() *config.SchedConfig {
+	sc := config.Default()
+	// The paper sets ReservationDepth and ReservationDelayDepth to 5.
+	sc.ReservationDepth = 5
+	sc.ReservationDelayDepth = 5
+	if !c.Dynamic || c.TargetDelay == 0 {
+		sc.Fairness = fairness.NewConfig(fairness.None)
+	} else {
+		f := fairness.NewConfig(fairness.TargetDelay)
+		f.Interval = c.Interval
+		if f.Interval <= 0 {
+			f.Interval = sim.Hour
+		}
+		f.Decay = c.Decay
+		for _, u := range staticUsers() {
+			f.Set(fairness.KindUser, u, fairness.Limits{
+				PermSet: true, Perm: true, TargetDelayTime: c.TargetDelay,
+			})
+		}
+		sc.Fairness = f
+	}
+	if c.Mutate != nil {
+		c.Mutate(sc)
+	}
+	return sc
+}
+
+// Topology maps a requested system size onto the paper's node shape:
+// 8 cores per node (2× Intel X5570), enough nodes to cover the size.
+// The default 120 cores is the paper's 15-node testbed.
+func Topology(totalCores int) (nodes, coresPerNode int) {
+	if totalCores <= 0 {
+		totalCores = 120
+	}
+	coresPerNode = 8
+	nodes = (totalCores + coresPerNode - 1) / coresPerNode
+	return nodes, coresPerNode
+}
+
+// ESPResult is the outcome of one configuration run.
+type ESPResult struct {
+	Config   ESPConfig
+	Summary  metrics.Summary
+	Recorder *metrics.Recorder
+	// GrantAttempts / GrantsSatisfied count dynamic request traffic.
+	GrantAttempts   int
+	GrantsSatisfied int
+	Iterations      uint64
+	// Decisions retains every dynamic-request verdict with its
+	// measured per-job delays, for fairness-invariant checks.
+	Decisions []DecisionRecord
+	// Trace is the full schedule event log (renderable as a Gantt).
+	Trace *trace.Log
+}
+
+// DecisionRecord is a timestamped dynamic-request verdict.
+type DecisionRecord struct {
+	At sim.Time
+	core.DynDecision
+}
+
+// RunESP executes the dynamic ESP workload under one configuration on
+// a simulated 15-node × 8-core cluster and returns the metrics.
+func RunESP(c ESPConfig, genOpts esp.GenOpts) *ESPResult {
+	genOpts.Dynamic = c.Dynamic
+	eng := sim.NewEngine()
+	nodes, coresPerNode := Topology(genOpts.TotalCores)
+	genOpts.TotalCores = nodes * coresPerNode
+	cl := cluster.New(nodes, coresPerNode)
+	copts := core.Options{
+		Config:               c.SchedConfig(),
+		StrictSystemPriority: true,
+	}
+	if c.CoreOpts != nil {
+		c.CoreOpts(&copts)
+	}
+	sched := core.New(copts, 0)
+	rec := metrics.NewRecorder(cl.TotalCores())
+	srv := rms.NewServer(eng, cl, sched, rec)
+	tr := &trace.Log{}
+	srv.Trace = tr
+
+	res := &ESPResult{Config: c, Recorder: rec, Trace: tr}
+	srv.OnIteration = func(ir *core.IterationResult) {
+		for _, d := range ir.DynDecisions {
+			res.GrantAttempts++
+			if d.Granted {
+				res.GrantsSatisfied++
+			}
+			d := d
+			d.Delays = append([]fairness.JobDelay(nil), d.Delays...)
+			res.Decisions = append(res.Decisions, DecisionRecord{At: ir.Now, DynDecision: d})
+		}
+	}
+
+	w := esp.Generate(genOpts)
+	w.SubmitAll(srv)
+	srv.Run(50_000_000)
+
+	res.Summary = rec.Summarize(c.Name)
+	res.Iterations = sched.Iterations()
+	return res
+}
+
+// RunStandard runs all four Table II configurations with the given
+// generator options and returns the results in order.
+func RunStandard(genOpts esp.GenOpts) []*ESPResult {
+	var out []*ESPResult
+	for _, c := range StandardConfigs() {
+		out = append(out, RunESP(c, genOpts))
+	}
+	return out
+}
+
+// TableII renders the Table II comparison for a set of results.
+func TableII(results []*ESPResult) string {
+	rows := make([]metrics.Summary, len(results))
+	for i, r := range results {
+		rows[i] = r.Summary
+	}
+	return metrics.FormatTable(rows)
+}
+
+// WaitComparison renders the waiting-time-by-submission-order series
+// of several configurations side by side (Figs. 8, 10, 11). Column
+// one is the job index in submission order.
+func WaitComparison(results []*ESPResult) string {
+	var b strings.Builder
+	b.WriteString("jobIdx")
+	series := make([][]float64, len(results))
+	maxLen := 0
+	for i, r := range results {
+		fmt.Fprintf(&b, "\t%s", r.Config.Name)
+		series[i] = r.Recorder.WaitSeries()
+		if len(series[i]) > maxLen {
+			maxLen = len(series[i])
+		}
+	}
+	b.WriteByte('\n')
+	for idx := 0; idx < maxLen; idx++ {
+		fmt.Fprintf(&b, "%d", idx+1)
+		for i := range series {
+			if idx < len(series[i]) {
+				fmt.Fprintf(&b, "\t%.0f", series[i][idx])
+			} else {
+				b.WriteString("\t-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TypeLComparison renders the type-L waiting times of Fig. 9.
+func TypeLComparison(results []*ESPResult) string {
+	var b strings.Builder
+	b.WriteString("L-jobIdx")
+	series := make([][]metrics.JobRecord, len(results))
+	maxLen := 0
+	for i, r := range results {
+		fmt.Fprintf(&b, "\t%s", r.Config.Name)
+		series[i] = r.Recorder.JobsOfType("L")
+		if len(series[i]) > maxLen {
+			maxLen = len(series[i])
+		}
+	}
+	b.WriteByte('\n')
+	for idx := 0; idx < maxLen; idx++ {
+		fmt.Fprintf(&b, "%d", idx+1)
+		for i := range series {
+			if idx < len(series[i]) {
+				fmt.Fprintf(&b, "\t%.0f", sim.SecondsOf(series[i][idx].Wait()))
+			} else {
+				b.WriteString("\t-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/esp"
+	"repro/internal/fairness"
+	"repro/internal/sim"
+)
+
+func TestTopology(t *testing.T) {
+	n, c := Topology(0)
+	if n != 15 || c != 8 {
+		t.Errorf("default topology = %dx%d, want 15x8", n, c)
+	}
+	n, c = Topology(120)
+	if n != 15 || c != 8 {
+		t.Errorf("120-core topology = %dx%d", n, c)
+	}
+	n, _ = Topology(121)
+	if n != 16 {
+		t.Errorf("121 cores needs 16 nodes, got %d", n)
+	}
+}
+
+func TestSchedConfigs(t *testing.T) {
+	cfgs := StandardConfigs()
+	if len(cfgs) != 4 {
+		t.Fatal("four configurations per Table II")
+	}
+	static := cfgs[0].SchedConfig()
+	if static.Fairness.Policy != fairness.None {
+		t.Error("static config needs no fairness")
+	}
+	if static.ReservationDepth != 5 || static.ReservationDelayDepth != 5 {
+		t.Error("paper sets both depths to 5")
+	}
+	hp := cfgs[1].SchedConfig()
+	if hp.Fairness.Policy != fairness.None {
+		t.Error("Dyn-HP disables fairness (highest priority)")
+	}
+	d500 := cfgs[2].SchedConfig()
+	if d500.Fairness.Policy != fairness.TargetDelay {
+		t.Error("Dyn-500 uses the target-delay policy")
+	}
+	if d500.Fairness.Interval != sim.Hour {
+		t.Error("Dyn-500 interval is 1 h")
+	}
+	// Every static (rigid) user is limited; the evolving user06 isn't.
+	users := 0
+	for k, l := range d500.Fairness.Entities {
+		if k.Kind == fairness.KindUser {
+			users++
+			if k.Name == "user06" {
+				t.Error("evolving user06 must not carry a static-user limit")
+			}
+			if l.TargetDelayTime != 500*sim.Second {
+				t.Errorf("%s limit = %v", k, l.TargetDelayTime)
+			}
+		}
+	}
+	if users != 9 {
+		t.Errorf("limited static users = %d, want 9", users)
+	}
+}
+
+// TestTableIIShape runs the full dynamic ESP benchmark in all four
+// configurations and asserts the paper's qualitative result ordering
+// (Table II): the static workload is slowest with the lowest
+// utilization and zero satisfied requests; Dyn-HP is fastest and
+// satisfies the most; the DFS configs land in between, with the
+// tighter budget satisfying fewer requests.
+func TestTableIIShape(t *testing.T) {
+	rs := RunStandard(esp.DefaultOpts())
+	static, hp, d500, d600 := rs[0].Summary, rs[1].Summary, rs[2].Summary, rs[3].Summary
+
+	if static.SatisfiedDynJobs != 0 {
+		t.Errorf("static satisfied = %d", static.SatisfiedDynJobs)
+	}
+	if static.Jobs != 230 || hp.Jobs != 230 {
+		t.Errorf("jobs = %d/%d, want 230", static.Jobs, hp.Jobs)
+	}
+	// Makespan ordering: Static > Dyn-500 > Dyn-600 > Dyn-HP.
+	if !(static.MakespanMinutes > d500.MakespanMinutes &&
+		d500.MakespanMinutes > d600.MakespanMinutes &&
+		d600.MakespanMinutes > hp.MakespanMinutes) {
+		t.Errorf("makespans: static=%.1f 500=%.1f 600=%.1f hp=%.1f",
+			static.MakespanMinutes, d500.MakespanMinutes, d600.MakespanMinutes, hp.MakespanMinutes)
+	}
+	// Satisfied requests: HP > 600 > 500 > 0.
+	if !(hp.SatisfiedDynJobs > d600.SatisfiedDynJobs &&
+		d600.SatisfiedDynJobs > d500.SatisfiedDynJobs &&
+		d500.SatisfiedDynJobs > 0) {
+		t.Errorf("satisfied: hp=%d 600=%d 500=%d",
+			hp.SatisfiedDynJobs, d600.SatisfiedDynJobs, d500.SatisfiedDynJobs)
+	}
+	// Utilization and throughput: every dynamic config beats static.
+	for _, r := range rs[1:] {
+		if r.Summary.UtilizationPct <= static.UtilizationPct {
+			t.Errorf("%s util %.1f ≤ static %.1f", r.Config.Name, r.Summary.UtilizationPct, static.UtilizationPct)
+		}
+		if r.Summary.ThroughputJPM <= static.ThroughputJPM {
+			t.Errorf("%s throughput ≤ static", r.Config.Name)
+		}
+	}
+	// Dyn-HP throughput increase lands in the paper's ballpark (11.3%);
+	// accept a generous band since the submission order differs.
+	inc := (hp.ThroughputJPM - static.ThroughputJPM) / static.ThroughputJPM * 100
+	if inc < 3 || inc > 25 {
+		t.Errorf("Dyn-HP throughput increase = %.1f%%, expected the ~11%% ballpark", inc)
+	}
+	// Backfilling: the dynamic configs backfill at least as much as
+	// static overall loses — the paper's counter-intuitive finding is
+	// that dynamic allocation *increases* backfilling.
+	if hp.Backfilled <= static.Backfilled {
+		t.Errorf("Dyn-HP backfilled %d ≤ static %d", hp.Backfilled, static.Backfilled)
+	}
+}
+
+// TestFig8Shape asserts the Fig. 8 phenomenon: under Dyn-HP a
+// contiguous band of mid-range jobs waits longer than under Static
+// while the tail of the workload waits less.
+func TestFig8Shape(t *testing.T) {
+	rs := RunStandard(esp.DefaultOpts())
+	ws := rs[0].Recorder.WaitSeries()
+	wh := rs[1].Recorder.WaitSeries()
+	if len(ws) != len(wh) || len(ws) != 230 {
+		t.Fatalf("series lengths %d/%d", len(ws), len(wh))
+	}
+	firstHalfWorse, secondHalfWorse, better := 0, 0, 0
+	for i := range ws {
+		switch {
+		case wh[i] > ws[i]+1:
+			if i < 115 {
+				firstHalfWorse++
+			} else {
+				secondHalfWorse++
+			}
+		case wh[i] < ws[i]-1:
+			better++
+		}
+	}
+	if firstHalfWorse < 10 {
+		t.Errorf("expected a delayed band in the first half, got %d worse jobs", firstHalfWorse)
+	}
+	if better < firstHalfWorse+secondHalfWorse {
+		t.Errorf("overall more jobs should improve (better=%d worse=%d)",
+			better, firstHalfWorse+secondHalfWorse)
+	}
+}
+
+// TestDFSBudgetInvariant asserts the dynamic fairness policy's
+// contract in the full ESP run: under Dyn-500, the delays charged to
+// any static user by *granted* requests never exceed 500 s within one
+// accounting interval (1 h, decay 0), and at least one request is
+// rejected specifically by the fairness gate (not just for lack of
+// resources).
+func TestDFSBudgetInvariant(t *testing.T) {
+	res := RunESP(StandardConfigs()[2], esp.DefaultOpts()) // Dyn-500
+	budget := 500.0
+	perUserInterval := map[string]float64{}
+	fairnessRejections := 0
+	for _, d := range res.Decisions {
+		if !d.Granted {
+			if strings.Contains(d.Reason, "target delay") {
+				fairnessRejections++
+			}
+			continue
+		}
+		interval := int64(d.At / sim.Hour)
+		for _, jd := range d.Delays {
+			if jd.Job.Cred.User == d.Req.Job.Cred.User {
+				continue // same-user exemption
+			}
+			key := fmt.Sprintf("%s@%d", jd.Job.Cred.User, interval)
+			perUserInterval[key] += sim.SecondsOf(jd.Delay)
+			if perUserInterval[key] > budget+0.001 {
+				t.Errorf("user-interval %s charged %.1f s > %v s budget",
+					key, perUserInterval[key], budget)
+			}
+		}
+	}
+	if fairnessRejections == 0 {
+		t.Error("Dyn-500 never rejected a request on fairness grounds")
+	}
+	if res.GrantsSatisfied == 0 {
+		t.Error("Dyn-500 should still grant some requests")
+	}
+}
+
+func TestRunESPDeterministic(t *testing.T) {
+	a := RunESP(StandardConfigs()[1], esp.DefaultOpts())
+	b := RunESP(StandardConfigs()[1], esp.DefaultOpts())
+	if a.Summary != b.Summary {
+		t.Errorf("identical runs diverged:\n%+v\n%+v", a.Summary, b.Summary)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	opts := esp.DefaultOpts()
+	opts.TotalCores = 32 // small & fast
+	rs := []*ESPResult{
+		RunESP(StandardConfigs()[0], opts),
+		RunESP(StandardConfigs()[1], opts),
+	}
+	table := TableII(rs)
+	if !strings.Contains(table, "Static") || !strings.Contains(table, "Dyn-HP") {
+		t.Error("TableII missing rows")
+	}
+	wc := WaitComparison(rs)
+	if !strings.HasPrefix(wc, "jobIdx\tStatic\tDyn-HP") {
+		t.Errorf("WaitComparison header: %q", strings.SplitN(wc, "\n", 2)[0])
+	}
+	if strings.Count(wc, "\n") != 231 {
+		t.Errorf("WaitComparison rows = %d", strings.Count(wc, "\n"))
+	}
+	lc := TypeLComparison(rs)
+	if strings.Count(lc, "\n") != 37 { // header + 36 type-L jobs
+		t.Errorf("TypeLComparison rows = %d", strings.Count(lc, "\n"))
+	}
+}
+
+// TestFig12Smoke measures the live-daemon dynamic allocation overhead
+// for a couple of node counts and checks the paper's headline claim:
+// sub-second overhead.
+func TestFig12Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live daemons")
+	}
+	points, err := RunFig12(Fig12Opts{MaxNodes: 2, CoresPerNode: 4, QueuedJobs: 3, Samples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.IdleMS <= 0 || p.LoadedMS <= 0 {
+			t.Errorf("non-positive latency: %+v", p)
+		}
+		if p.IdleMS > 1000 || p.LoadedMS > 1000 {
+			t.Errorf("overhead exceeds one second: %+v", p)
+		}
+	}
+	out := FormatFig12(points)
+	if !strings.Contains(out, "Idle [ms]") {
+		t.Error("FormatFig12 header")
+	}
+}

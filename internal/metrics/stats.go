@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Percentile returns the p-th percentile (0..100) of the values using
+// nearest-rank on a sorted copy. Returns 0 for empty input.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// slowdownFloor bounds the denominator of the bounded slowdown, the
+// standard 10-second threshold of the parallel-workloads literature.
+const slowdownFloor = 10 * sim.Second
+
+// BoundedSlowdown returns the job's bounded slowdown:
+// max(1, (wait + runtime) / max(runtime, 10 s)).
+func (r JobRecord) BoundedSlowdown() float64 {
+	runtime := r.End - r.Start
+	den := runtime
+	if den < slowdownFloor {
+		den = slowdownFloor
+	}
+	if den <= 0 {
+		return 1
+	}
+	s := float64(r.Turnaround()) / float64(den)
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// SlowdownSeries returns bounded slowdowns in submission order.
+func (r *Recorder) SlowdownSeries() []float64 {
+	jobs := r.Jobs()
+	out := make([]float64, len(jobs))
+	for i, rec := range jobs {
+		out[i] = rec.BoundedSlowdown()
+	}
+	return out
+}
+
+// MeanBoundedSlowdown averages the bounded slowdown over all jobs.
+func (r *Recorder) MeanBoundedSlowdown() float64 {
+	s := r.SlowdownSeries()
+	if len(s) == 0 {
+		return 0
+	}
+	var tot float64
+	for _, v := range s {
+		tot += v
+	}
+	return tot / float64(len(s))
+}
+
+// UserUsage is the per-user accounting row (the fairshare and billing
+// view of a run).
+type UserUsage struct {
+	User        string
+	Jobs        int
+	CoreSeconds float64
+	WaitSeconds float64 // summed waiting time
+}
+
+// UsageByUser aggregates completed jobs per user, sorted by descending
+// core-seconds.
+func (r *Recorder) UsageByUser() []UserUsage {
+	agg := map[string]*UserUsage{}
+	for _, rec := range r.jobs {
+		u, ok := agg[rec.User]
+		if !ok {
+			u = &UserUsage{User: rec.User}
+			agg[rec.User] = u
+		}
+		u.Jobs++
+		u.CoreSeconds += float64(rec.Cores) * sim.SecondsOf(rec.End-rec.Start)
+		u.WaitSeconds += sim.SecondsOf(rec.Wait())
+	}
+	out := make([]UserUsage, 0, len(agg))
+	for _, u := range agg {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CoreSeconds != out[j].CoreSeconds {
+			return out[i].CoreSeconds > out[j].CoreSeconds
+		}
+		return out[i].User < out[j].User
+	})
+	return out
+}
+
+// FormatUsage renders the per-user accounting table.
+func FormatUsage(rows []UserUsage) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %16s %14s\n", "User", "Jobs", "Core-hours", "Wait[h]")
+	for _, u := range rows {
+		fmt.Fprintf(&b, "%-10s %6d %16.2f %14.2f\n",
+			u.User, u.Jobs, u.CoreSeconds/3600, u.WaitSeconds/3600)
+	}
+	return b.String()
+}
+
+// WaitPercentiles summarizes the waiting-time distribution.
+func (r *Recorder) WaitPercentiles() (p50, p90, p99 float64) {
+	w := r.WaitSeries()
+	return Percentile(w, 50), Percentile(w, 90), Percentile(w, 99)
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {20, 1}, {90, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); got != c.want {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+	// Input must not be mutated.
+	in := []float64{3, 1, 2}
+	Percentile(in, 50)
+	if in[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 1000
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		prev := sorted[0] - 1
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(vals, p)
+			if v < sorted[0] || v > sorted[n-1] || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedSlowdown(t *testing.T) {
+	// 100 s wait + 100 s run: slowdown = 200/100 = 2.
+	r := JobRecord{Submit: 0, Start: 100 * sim.Second, End: 200 * sim.Second}
+	if got := r.BoundedSlowdown(); got != 2 {
+		t.Errorf("slowdown = %v, want 2", got)
+	}
+	// Very short job: denominator floors at 10 s.
+	r2 := JobRecord{Submit: 0, Start: 100 * sim.Second, End: 101 * sim.Second}
+	if got := r2.BoundedSlowdown(); got != 10.1 {
+		t.Errorf("short-job slowdown = %v, want 10.1", got)
+	}
+	// No wait: slowdown is 1.
+	r3 := JobRecord{Submit: 0, Start: 0, End: 100 * sim.Second}
+	if got := r3.BoundedSlowdown(); got != 1 {
+		t.Errorf("no-wait slowdown = %v", got)
+	}
+}
+
+func TestSlowdownSeries(t *testing.T) {
+	rec := NewRecorder(8)
+	rec.ObserveSubmit(0)
+	rec.AddJob(JobRecord{ID: 1, Submit: 0, Start: 0, End: 100 * sim.Second})
+	rec.AddJob(JobRecord{ID: 2, Submit: 0, Start: 100 * sim.Second, End: 200 * sim.Second})
+	s := rec.SlowdownSeries()
+	if len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Errorf("series = %v", s)
+	}
+	if got := rec.MeanBoundedSlowdown(); got != 1.5 {
+		t.Errorf("mean = %v", got)
+	}
+	empty := NewRecorder(8)
+	if empty.MeanBoundedSlowdown() != 0 {
+		t.Error("empty mean slowdown")
+	}
+}
+
+func TestUsageByUser(t *testing.T) {
+	rec := NewRecorder(8)
+	rec.ObserveSubmit(0)
+	rec.AddJob(JobRecord{ID: 1, User: "a", Cores: 4, Submit: 0, Start: 0, End: 3600 * sim.Second})
+	rec.AddJob(JobRecord{ID: 2, User: "b", Cores: 8, Submit: 0, Start: 600 * sim.Second, End: 4200 * sim.Second})
+	rec.AddJob(JobRecord{ID: 3, User: "a", Cores: 2, Submit: 0, Start: 0, End: 1800 * sim.Second})
+	usage := rec.UsageByUser()
+	if len(usage) != 2 {
+		t.Fatalf("users = %d", len(usage))
+	}
+	// b: 8 cores x 3600 s = 28800; a: 4x3600 + 2x1800 = 18000.
+	if usage[0].User != "b" || usage[0].CoreSeconds != 28800 {
+		t.Errorf("top user = %+v", usage[0])
+	}
+	if usage[1].User != "a" || usage[1].CoreSeconds != 18000 || usage[1].Jobs != 2 {
+		t.Errorf("second user = %+v", usage[1])
+	}
+	if usage[0].WaitSeconds != 600 {
+		t.Errorf("b wait = %v", usage[0].WaitSeconds)
+	}
+	out := FormatUsage(usage)
+	if !strings.Contains(out, "Core-hours") || !strings.Contains(out, "b") {
+		t.Errorf("usage table:\n%s", out)
+	}
+}
+
+func TestWaitPercentiles(t *testing.T) {
+	rec := NewRecorder(8)
+	rec.ObserveSubmit(0)
+	for i := 1; i <= 100; i++ {
+		rec.AddJob(JobRecord{
+			ID: 1, Submit: 0,
+			Start: sim.Duration(i) * sim.Second,
+			End:   sim.Duration(i+10) * sim.Second,
+		})
+	}
+	p50, p90, p99 := rec.WaitPercentiles()
+	if p50 != 50 || p90 != 90 || p99 != 99 {
+		t.Errorf("percentiles = %v %v %v", p50, p90, p99)
+	}
+}

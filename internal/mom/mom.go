@@ -1,0 +1,538 @@
+// Package mom implements the compute-node daemon (the pbs_mom analog).
+// Every mom listens on its own TCP address for the TM interface
+// (applications) and for mom↔mom coordination (join, dyn_join,
+// dyn_disjoin), and keeps one persistent connection to the server.
+//
+// When the server starts a job, it sends RunJob to the first allocated
+// host — the job's mother superior. The mother superior joins the
+// sibling moms, launches the application, forwards its tm_dynget /
+// tm_dynfree calls to the server (Fig. 3 / Fig. 4 of the paper), and
+// reports completion.
+package mom
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/tm"
+)
+
+// GoApp is an in-process application launched by a "go:" job script.
+// ctx is cancelled when the job is killed; tmc is the job's TM handle.
+type GoApp func(ctx context.Context, tmc *tm.Context) error
+
+var (
+	appMu    sync.RWMutex
+	appFuncs = map[string]GoApp{}
+)
+
+// RegisterGoApp makes an in-process application available to "go:"
+// job scripts in this process. Registering the same name twice panics:
+// it is always a programming error.
+func RegisterGoApp(name string, fn GoApp) {
+	appMu.Lock()
+	defer appMu.Unlock()
+	if _, dup := appFuncs[name]; dup {
+		panic(fmt.Sprintf("mom: duplicate go app %q", name))
+	}
+	appFuncs[name] = fn
+}
+
+func lookupGoApp(name string) (GoApp, bool) {
+	appMu.RLock()
+	defer appMu.RUnlock()
+	fn, ok := appFuncs[name]
+	return fn, ok
+}
+
+// momJob is the node-local state of one job.
+type momJob struct {
+	id     int
+	spec   proto.JobSpec
+	hosts  []proto.HostSlice
+	isMS   bool
+	cancel context.CancelFunc
+	// pendingTM is the parked application connection awaiting a
+	// tm_dynget verdict from the server.
+	pendingTM *proto.Conn
+}
+
+// Mom is one compute-node daemon.
+type Mom struct {
+	name  string
+	cores int
+
+	ln  net.Listener
+	srv *proto.Conn
+
+	mu   sync.Mutex
+	jobs map[int]*momJob
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	// Verbose enables lightweight logging to stderr.
+	Verbose bool
+}
+
+// New creates a mom for a node with the given name and core count.
+func New(name string, cores int) *Mom {
+	return &Mom{name: name, cores: cores, jobs: make(map[int]*momJob), closed: make(chan struct{})}
+}
+
+// Name returns the node name.
+func (m *Mom) Name() string { return m.name }
+
+// Addr returns the mom's listen address (valid after Start).
+func (m *Mom) Addr() string {
+	if m.ln == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// Start listens on listenAddr (use "127.0.0.1:0" for an ephemeral
+// port), registers with the server at srvAddr, and begins serving.
+func (m *Mom) Start(listenAddr, srvAddr string) error {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return fmt.Errorf("mom %s: listen: %w", m.name, err)
+	}
+	m.ln = ln
+	srv, err := proto.Dial(srvAddr)
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("mom %s: dial server: %w", m.name, err)
+	}
+	m.srv = srv
+	if err := srv.Send(proto.TRegister, proto.RegisterReq{
+		Node: m.name, Addr: ln.Addr().String(), Cores: m.cores,
+	}); err != nil {
+		ln.Close()
+		srv.Close()
+		return fmt.Errorf("mom %s: register: %w", m.name, err)
+	}
+	m.wg.Add(2)
+	go m.serveLoop()
+	go m.serverLoop()
+	return nil
+}
+
+// Close stops the daemon and kills local jobs.
+func (m *Mom) Close() {
+	select {
+	case <-m.closed:
+		return
+	default:
+		close(m.closed)
+	}
+	if m.ln != nil {
+		m.ln.Close()
+	}
+	if m.srv != nil {
+		m.srv.Close()
+	}
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+func (m *Mom) logf(format string, args ...any) {
+	if m.Verbose {
+		fmt.Fprintf(os.Stderr, "mom[%s] "+format+"\n", append([]any{m.name}, args...)...)
+	}
+}
+
+// serveLoop accepts TM and mom↔mom connections.
+func (m *Mom) serveLoop() {
+	defer m.wg.Done()
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.handleConn(proto.NewConn(c))
+		}()
+	}
+}
+
+// handleConn serves one inbound connection (an application's TM call
+// or a sibling mom's join).
+func (m *Mom) handleConn(c *proto.Conn) {
+	env, err := c.Recv()
+	if err != nil {
+		c.Close()
+		return
+	}
+	switch env.Type {
+	case proto.TTMDynGet:
+		var req proto.TMDynGetReq
+		if err := env.Decode(&req); err != nil {
+			m.tmFail(c, err.Error())
+			return
+		}
+		m.handleTMDynGet(c, req)
+		// Connection is parked until the server answers; do not close.
+	case proto.TTMDynFree:
+		var req proto.TMDynFreeReq
+		if err := env.Decode(&req); err != nil {
+			m.tmFail(c, err.Error())
+			return
+		}
+		m.handleTMDynFree(c, req)
+	case proto.TTMDone:
+		var req proto.TMDoneReq
+		if err := env.Decode(&req); err != nil {
+			m.tmFail(c, err.Error())
+			return
+		}
+		_ = m.srv.Send(proto.TJobDone, proto.JobDoneReq{JobID: req.JobID, Error: req.Error})
+		_ = c.Send(proto.TTMResp, proto.TMResp{OK: true})
+		c.Close()
+	case proto.TJoin, proto.TDynJoin:
+		var req proto.JoinReq
+		if err := env.Decode(&req); err == nil {
+			m.handleJoin(req, env.Type == proto.TDynJoin)
+			_ = c.Send(proto.TOK, nil)
+		} else {
+			_ = c.Send(proto.TError, proto.ErrorResp{Error: err.Error()})
+		}
+		c.Close()
+	case proto.TDynDisjoin:
+		var req proto.JoinReq
+		if err := env.Decode(&req); err == nil {
+			m.handleDisjoin(req)
+			_ = c.Send(proto.TOK, nil)
+		} else {
+			_ = c.Send(proto.TError, proto.ErrorResp{Error: err.Error()})
+		}
+		c.Close()
+	default:
+		_ = c.Send(proto.TError, proto.ErrorResp{Error: fmt.Sprintf("unexpected %s", env.Type)})
+		c.Close()
+	}
+}
+
+func (m *Mom) tmFail(c *proto.Conn, reason string) {
+	_ = c.Send(proto.TTMResp, proto.TMResp{OK: false, Reason: reason})
+	c.Close()
+}
+
+// handleTMDynGet forwards the request to the server through this mom
+// (which must be the job's mother superior) and parks the application
+// connection until the verdict arrives.
+func (m *Mom) handleTMDynGet(c *proto.Conn, req proto.TMDynGetReq) {
+	m.mu.Lock()
+	j, ok := m.jobs[req.JobID]
+	switch {
+	case !ok:
+		m.mu.Unlock()
+		m.tmFail(c, fmt.Sprintf("job %d unknown on %s", req.JobID, m.name))
+		return
+	case !j.isMS:
+		m.mu.Unlock()
+		m.tmFail(c, "tm_dynget must go through the mother superior")
+		return
+	case j.pendingTM != nil:
+		m.mu.Unlock()
+		m.tmFail(c, "a dynamic request is already pending for this job")
+		return
+	}
+	j.pendingTM = c
+	m.mu.Unlock()
+	m.logf("forwarding tm_dynget job=%d cores=%d nodes=%dx%d", req.JobID, req.Cores, req.Nodes, req.PPN)
+	err := m.srv.Send(proto.TDynGet, proto.DynGetReq{
+		JobID: req.JobID, Cores: req.Cores, Nodes: req.Nodes, PPN: req.PPN,
+		TimeoutSecs: req.TimeoutSecs,
+	})
+	if err != nil {
+		m.mu.Lock()
+		j.pendingTM = nil
+		m.mu.Unlock()
+		m.tmFail(c, "server unreachable: "+err.Error())
+	}
+}
+
+// handleTMDynFree performs dyn_disjoin with the released moms, informs
+// the server and answers the application (Fig. 4).
+func (m *Mom) handleTMDynFree(c *proto.Conn, req proto.TMDynFreeReq) {
+	m.mu.Lock()
+	j, ok := m.jobs[req.JobID]
+	if !ok || !j.isMS {
+		m.mu.Unlock()
+		m.tmFail(c, "job unknown or not mother superior")
+		return
+	}
+	// Remove the slices from the local host view.
+	j.hosts = subtractHosts(j.hosts, req.Hosts)
+	m.mu.Unlock()
+	for _, h := range req.Hosts {
+		if h.Addr == m.Addr() {
+			continue
+		}
+		m.notifyMom(h.Addr, proto.TDynDisjoin, proto.JoinReq{JobID: req.JobID, Hosts: req.Hosts})
+	}
+	if err := m.srv.Send(proto.TDynFree, proto.DynFreeReq{JobID: req.JobID, Hosts: req.Hosts}); err != nil {
+		m.tmFail(c, "server unreachable: "+err.Error())
+		return
+	}
+	// tm_dynfree "usually returns true" (§III-B).
+	_ = c.Send(proto.TTMResp, proto.TMResp{OK: true})
+	c.Close()
+}
+
+// handleJoin records a job this node now participates in.
+func (m *Mom) handleJoin(req proto.JoinReq, dynamic bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[req.JobID]
+	if !ok {
+		j = &momJob{id: req.JobID}
+		m.jobs[req.JobID] = j
+	}
+	if dynamic {
+		j.hosts = append(j.hosts, req.Hosts...)
+	} else {
+		j.hosts = req.Hosts
+	}
+	m.logf("join job=%d dynamic=%v hosts=%d", req.JobID, dynamic, len(j.hosts))
+}
+
+// handleDisjoin removes released slices (and the whole job when this
+// node no longer holds any).
+func (m *Mom) handleDisjoin(req proto.JoinReq) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[req.JobID]
+	if !ok {
+		return
+	}
+	j.hosts = subtractHosts(j.hosts, req.Hosts)
+	stillHere := false
+	for _, h := range j.hosts {
+		if h.Node == m.name {
+			stillHere = true
+			break
+		}
+	}
+	if !stillHere && !j.isMS {
+		delete(m.jobs, req.JobID)
+	}
+}
+
+func subtractHosts(have, remove []proto.HostSlice) []proto.HostSlice {
+	out := have[:0:0]
+	removed := make(map[string]int)
+	for _, r := range remove {
+		removed[r.Node] += r.Cores
+	}
+	for _, h := range have {
+		if take := removed[h.Node]; take > 0 {
+			if take >= h.Cores {
+				removed[h.Node] -= h.Cores
+				continue
+			}
+			h.Cores -= take
+			removed[h.Node] = 0
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// notifyMom performs one fire-and-confirm exchange with a sibling mom.
+func (m *Mom) notifyMom(addr string, t proto.MsgType, payload any) {
+	c, err := proto.Dial(addr)
+	if err != nil {
+		m.logf("notify %s %s: %v", addr, t, err)
+		return
+	}
+	defer c.Close()
+	if _, err := c.Request(t, payload); err != nil {
+		m.logf("notify %s %s: %v", addr, t, err)
+	}
+}
+
+// serverLoop handles messages from the server.
+func (m *Mom) serverLoop() {
+	defer m.wg.Done()
+	for {
+		env, err := m.srv.Recv()
+		if err != nil {
+			return
+		}
+		switch env.Type {
+		case proto.TRunJob:
+			var req proto.RunJobReq
+			if err := env.Decode(&req); err == nil {
+				m.runJob(req)
+			}
+		case proto.TKillJob:
+			var req proto.KillJobReq
+			if err := env.Decode(&req); err == nil {
+				m.killJob(req.JobID)
+			}
+		case proto.TDynGetResp:
+			var resp proto.DynGetResp
+			if err := env.Decode(&resp); err == nil {
+				m.handleDynGetResp(resp)
+			}
+		}
+	}
+}
+
+// runJob makes this mom the job's mother superior: join the siblings,
+// then launch the application.
+func (m *Mom) runJob(req proto.RunJobReq) {
+	m.logf("run job=%d script=%q hosts=%d", req.JobID, req.Spec.Script, len(req.Hosts))
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &momJob{id: req.JobID, spec: req.Spec, hosts: req.Hosts, isMS: true, cancel: cancel}
+	m.mu.Lock()
+	m.jobs[req.JobID] = j
+	m.mu.Unlock()
+
+	// Initial join with the sibling moms (Fig. 2: the mother superior
+	// and the allocated nodes perform a join operation).
+	for _, h := range req.Hosts {
+		if h.Addr == m.Addr() {
+			continue
+		}
+		m.notifyMom(h.Addr, proto.TJoin, proto.JoinReq{JobID: req.JobID, Hosts: req.Hosts})
+	}
+
+	tmc := &tm.Context{JobID: req.JobID, MomAddr: m.Addr()}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		err := m.launch(ctx, req.Spec.Script, tmc)
+		// The application controller finished (or was killed): report
+		// completion unless the kill already did.
+		m.mu.Lock()
+		_, still := m.jobs[req.JobID]
+		delete(m.jobs, req.JobID)
+		m.mu.Unlock()
+		if still && ctx.Err() == nil {
+			done := proto.JobDoneReq{JobID: req.JobID}
+			if err != nil {
+				done.Error = err.Error()
+			}
+			_ = m.srv.Send(proto.TJobDone, done)
+		}
+	}()
+}
+
+// launch interprets the job script.
+func (m *Mom) launch(ctx context.Context, script string, tmc *tm.Context) error {
+	kind, arg, _ := strings.Cut(script, ":")
+	switch kind {
+	case "sleep":
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return fmt.Errorf("mom: bad sleep script %q: %v", script, err)
+		}
+		select {
+		case <-time.After(d):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	case "go":
+		fn, ok := lookupGoApp(arg)
+		if !ok {
+			return fmt.Errorf("mom: unknown go app %q", arg)
+		}
+		return fn(ctx, tmc)
+	case "exec":
+		fields := strings.Fields(arg)
+		if len(fields) == 0 {
+			return fmt.Errorf("mom: empty exec script")
+		}
+		cmd := exec.CommandContext(ctx, fields[0], fields[1:]...)
+		cmd.Env = append(os.Environ(),
+			fmt.Sprintf("%s=%d", tm.EnvJobID, tmc.JobID),
+			fmt.Sprintf("%s=%s", tm.EnvMomAddr, tmc.MomAddr),
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		return cmd.Run()
+	default:
+		return fmt.Errorf("mom: unknown script kind %q", kind)
+	}
+}
+
+// killJob terminates a local job (walltime enforcement or qdel).
+func (m *Mom) killJob(id int) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if ok {
+		delete(m.jobs, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	m.logf("kill job=%d", id)
+	if j.cancel != nil {
+		j.cancel()
+	}
+	if j.pendingTM != nil {
+		_ = j.pendingTM.Send(proto.TTMResp, proto.TMResp{OK: false, Reason: "job killed"})
+		j.pendingTM.Close()
+	}
+}
+
+// handleDynGetResp resolves a parked tm_dynget: on a grant, dyn_join
+// the new hosts first (Fig. 3 step 6), then hand the hostlist to the
+// application (step 7).
+func (m *Mom) handleDynGetResp(resp proto.DynGetResp) {
+	m.mu.Lock()
+	j, ok := m.jobs[resp.JobID]
+	var parked *proto.Conn
+	if ok {
+		parked = j.pendingTM
+		j.pendingTM = nil
+		if resp.Granted {
+			j.hosts = append(j.hosts, resp.Hosts...)
+		}
+	}
+	m.mu.Unlock()
+	if resp.Granted {
+		for _, h := range resp.Hosts {
+			if h.Addr == m.Addr() {
+				continue
+			}
+			m.notifyMom(h.Addr, proto.TDynJoin, proto.JoinReq{JobID: resp.JobID, Dynamic: true, Hosts: resp.Hosts})
+		}
+	}
+	if parked == nil {
+		return
+	}
+	_ = parked.Send(proto.TTMResp, proto.TMResp{OK: resp.Granted, Reason: resp.Reason, Hosts: resp.Hosts})
+	parked.Close()
+}
+
+// Jobs returns the ids of jobs this mom currently participates in.
+func (m *Mom) Jobs() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.jobs))
+	for id := range m.jobs {
+		out = append(out, id)
+	}
+	return out
+}

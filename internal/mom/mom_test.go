@@ -1,0 +1,118 @@
+package mom
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/proto"
+	"repro/internal/tm"
+)
+
+func TestSubtractHosts(t *testing.T) {
+	have := []proto.HostSlice{
+		{Node: "n0", Cores: 8},
+		{Node: "n1", Cores: 4},
+		{Node: "n2", Cores: 2},
+	}
+	got := subtractHosts(have, []proto.HostSlice{
+		{Node: "n0", Cores: 3},
+		{Node: "n1", Cores: 4},
+	})
+	if len(got) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if got[0].Node != "n0" || got[0].Cores != 5 {
+		t.Errorf("partial subtraction: %+v", got[0])
+	}
+	if got[1].Node != "n2" || got[1].Cores != 2 {
+		t.Errorf("untouched slice: %+v", got[1])
+	}
+	// Removing more than held clamps to zero slices, never negative.
+	got = subtractHosts(have, []proto.HostSlice{{Node: "n2", Cores: 99}})
+	for _, h := range got {
+		if h.Cores <= 0 {
+			t.Errorf("non-positive slice survived: %+v", h)
+		}
+	}
+	// Subtracting nothing is identity.
+	got = subtractHosts(have, nil)
+	if len(got) != 3 {
+		t.Error("identity subtraction")
+	}
+}
+
+func TestRegisterGoAppDuplicatePanics(t *testing.T) {
+	RegisterGoApp("dup-app-test", func(context.Context, *tm.Context) error { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	RegisterGoApp("dup-app-test", func(context.Context, *tm.Context) error { return nil })
+}
+
+func TestLaunchScriptErrors(t *testing.T) {
+	m := New("testnode", 8)
+	tmc := &tm.Context{JobID: 1, MomAddr: "127.0.0.1:1"}
+	ctx := context.Background()
+	if err := m.launch(ctx, "bogus:stuff", tmc); err == nil {
+		t.Error("unknown script kind must error")
+	}
+	if err := m.launch(ctx, "sleep:notaduration", tmc); err == nil {
+		t.Error("bad sleep duration must error")
+	}
+	if err := m.launch(ctx, "go:not-registered-anywhere", tmc); err == nil {
+		t.Error("unregistered go app must error")
+	}
+	if err := m.launch(ctx, "exec:", tmc); err == nil {
+		t.Error("empty exec must error")
+	}
+	if err := m.launch(ctx, "sleep:1ms", tmc); err != nil {
+		t.Errorf("valid sleep: %v", err)
+	}
+}
+
+func TestLaunchSleepCancellation(t *testing.T) {
+	m := New("testnode2", 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- m.launch(ctx, "sleep:1h", &tm.Context{})
+	}()
+	cancel()
+	if err := <-done; err == nil {
+		t.Error("cancelled sleep should return the context error")
+	}
+}
+
+func TestLaunchExec(t *testing.T) {
+	m := New("testnode3", 8)
+	if err := m.launch(context.Background(), "exec:true", &tm.Context{JobID: 5, MomAddr: "x"}); err != nil {
+		t.Errorf("exec true: %v", err)
+	}
+	if err := m.launch(context.Background(), "exec:false", &tm.Context{JobID: 5, MomAddr: "x"}); err == nil {
+		t.Error("exec false should report failure")
+	}
+}
+
+func TestMomAddrBeforeStart(t *testing.T) {
+	m := New("n", 4)
+	if m.Addr() != "" {
+		t.Error("Addr before Start should be empty")
+	}
+	if m.Name() != "n" {
+		t.Error("Name accessor")
+	}
+	if len(m.Jobs()) != 0 {
+		t.Error("fresh mom has no jobs")
+	}
+}
+
+func TestStartFailsWithoutServer(t *testing.T) {
+	m := New("lonely", 4)
+	// 127.0.0.1:1 is essentially guaranteed closed.
+	if err := m.Start("127.0.0.1:0", "127.0.0.1:1"); err == nil {
+		m.Close()
+		t.Error("Start must fail when the server is unreachable")
+	}
+}

@@ -1,0 +1,213 @@
+// Package profile implements the time-stepped resource availability
+// profile that reservation-based schedulers plan against. The profile
+// answers "how many cores are free at time t" given the walltime-based
+// release times of running jobs and the holds of reservations already
+// planned, and finds the earliest slot where a job fits — the primitive
+// behind Maui-style reservations, backfill, and the paper's
+// delay-to-static-jobs measurement (Algorithm 2, line 12-14).
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Step is one segment boundary: Free cores are available from T until
+// the next step's T (the last step extends forever).
+type Step struct {
+	T    sim.Time
+	Free int
+}
+
+// Profile is a piecewise-constant map from time to free cores.
+// The zero value is not usable; call New.
+type Profile struct {
+	steps []Step
+}
+
+// New creates a profile with freeNow cores available from time now on.
+func New(now sim.Time, freeNow int) *Profile {
+	return &Profile{steps: []Step{{T: now, Free: freeNow}}}
+}
+
+// Clone returns an independent copy; what-if planning (such as the
+// dynamic-fairness delay computation) mutates the copy only.
+func (p *Profile) Clone() *Profile {
+	c := &Profile{steps: make([]Step, len(p.steps))}
+	copy(c.steps, p.steps)
+	return c
+}
+
+// Steps returns a copy of the underlying steps, for inspection.
+func (p *Profile) Steps() []Step {
+	out := make([]Step, len(p.steps))
+	copy(out, p.steps)
+	return out
+}
+
+// Start returns the first instant the profile covers.
+func (p *Profile) Start() sim.Time { return p.steps[0].T }
+
+// FreeAt returns the free cores at time t. Times before the profile
+// start report the initial value.
+func (p *Profile) FreeAt(t sim.Time) int {
+	// Binary search for the last step with T <= t.
+	i := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].T > t })
+	if i == 0 {
+		return p.steps[0].Free
+	}
+	return p.steps[i-1].Free
+}
+
+// ensureBoundary inserts a step boundary at t (splitting the segment
+// containing it) and returns its index.
+func (p *Profile) ensureBoundary(t sim.Time) int {
+	i := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].T >= t })
+	if i < len(p.steps) && p.steps[i].T == t {
+		return i
+	}
+	var free int
+	if i == 0 {
+		free = p.steps[0].Free
+	} else {
+		free = p.steps[i-1].Free
+	}
+	p.steps = append(p.steps, Step{})
+	copy(p.steps[i+1:], p.steps[i:])
+	p.steps[i] = Step{T: t, Free: free}
+	return i
+}
+
+// AddRelease increases capacity by cores from time t onward — a running
+// job's walltime expiry returns its cores to the pool.
+func (p *Profile) AddRelease(t sim.Time, cores int) {
+	if cores == 0 {
+		return
+	}
+	i := p.ensureBoundary(t)
+	for ; i < len(p.steps); i++ {
+		p.steps[i].Free += cores
+	}
+}
+
+// AddHold decreases capacity by cores during [start, end) — a planned
+// reservation or a hypothetical dynamic grant. end may be sim.Forever.
+func (p *Profile) AddHold(start, end sim.Time, cores int) {
+	if cores == 0 || end <= start {
+		return
+	}
+	i := p.ensureBoundary(start)
+	j := len(p.steps)
+	if end < sim.Forever {
+		j = p.ensureBoundary(end)
+		// ensureBoundary(end) may have shifted index i if end < start
+		// is impossible (checked above), so i stays valid.
+	}
+	for k := i; k < j; k++ {
+		p.steps[k].Free -= cores
+	}
+}
+
+// MinFree returns the minimum free capacity over [start, end).
+func (p *Profile) MinFree(start, end sim.Time) int {
+	if end <= start {
+		return p.FreeAt(start)
+	}
+	min := p.FreeAt(start)
+	i := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].T > start })
+	for ; i < len(p.steps) && p.steps[i].T < end; i++ {
+		if p.steps[i].Free < min {
+			min = p.steps[i].Free
+		}
+	}
+	return min
+}
+
+// FindSlot returns the earliest time ≥ earliest at which cores cores
+// are continuously free for dur. It returns sim.Forever when no slot
+// exists (the profile's eventual capacity never reaches cores).
+func (p *Profile) FindSlot(cores int, dur sim.Duration, earliest sim.Time) sim.Time {
+	if cores <= 0 {
+		return earliest
+	}
+	if earliest < p.Start() {
+		earliest = p.Start()
+	}
+	// Candidate start times: earliest itself plus every later step
+	// boundary (capacity only changes there).
+	if p.fits(earliest, cores, dur) {
+		return earliest
+	}
+	i := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].T > earliest })
+	for ; i < len(p.steps); i++ {
+		t := p.steps[i].T
+		if p.fits(t, cores, dur) {
+			return t
+		}
+	}
+	return sim.Forever
+}
+
+func (p *Profile) fits(start sim.Time, cores int, dur sim.Duration) bool {
+	var end sim.Time
+	if dur >= sim.Forever-start {
+		end = sim.Forever
+	} else {
+		end = start + dur
+	}
+	if p.FreeAt(start) < cores {
+		return false
+	}
+	i := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].T > start })
+	for ; i < len(p.steps) && p.steps[i].T < end; i++ {
+		if p.steps[i].Free < cores {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the profile for debugging: "[00:00:00→8 00:10:00→4]".
+func (p *Profile) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, s := range p.steps {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s→%d", sim.FormatTime(s.T), s.Free)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Compact merges adjacent steps with identical capacity; planning
+// inserts many boundaries and long simulations benefit from trimming.
+func (p *Profile) Compact() {
+	out := p.steps[:1]
+	for _, s := range p.steps[1:] {
+		if s.Free != out[len(out)-1].Free {
+			out = append(out, s)
+		}
+	}
+	p.steps = out
+}
+
+// CheckInvariants verifies that steps are strictly increasing in time.
+// Negative capacity is legal transiently in what-if planning (a hold
+// can exceed capacity when testing infeasible placements) and is
+// reported by MinFree, so it is not checked here.
+func (p *Profile) CheckInvariants() error {
+	if len(p.steps) == 0 {
+		return fmt.Errorf("profile: no steps")
+	}
+	for i := 1; i < len(p.steps); i++ {
+		if p.steps[i].T <= p.steps[i-1].T {
+			return fmt.Errorf("profile: non-increasing step times at %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// buildBusy constructs a profile resembling a loaded 120-core system:
+// 40 running-job releases and 10 reservation holds.
+func buildBusy() *Profile {
+	p := New(0, 8)
+	for i := 0; i < 40; i++ {
+		p.AddRelease(sim.Time(i+1)*10*sim.Minute, 3)
+	}
+	for i := 0; i < 10; i++ {
+		start := sim.Time(i+2) * 15 * sim.Minute
+		p.AddHold(start, start+30*sim.Minute, 12)
+	}
+	return p
+}
+
+func BenchmarkProfileBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		buildBusy()
+	}
+}
+
+func BenchmarkProfileFindSlot(b *testing.B) {
+	p := buildBusy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.FindSlot(64, sim.Hour, 0)
+	}
+}
+
+func BenchmarkProfileClone(b *testing.B) {
+	p := buildBusy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Clone()
+	}
+}
+
+func BenchmarkProfileMinFree(b *testing.B) {
+	p := buildBusy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MinFree(0, 8*sim.Hour)
+	}
+}

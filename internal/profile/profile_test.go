@@ -1,0 +1,275 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestFreeAtAndReleases(t *testing.T) {
+	p := New(0, 4)
+	p.AddRelease(10*sim.Second, 8)  // a job ends at t=10s
+	p.AddRelease(20*sim.Second, 16) // another at t=20s
+	cases := []struct {
+		t    sim.Time
+		want int
+	}{
+		{0, 4},
+		{5 * sim.Second, 4},
+		{10 * sim.Second, 12},
+		{15 * sim.Second, 12},
+		{20 * sim.Second, 28},
+		{sim.Hour, 28},
+		{-5, 4}, // before start: initial value
+	}
+	for _, c := range cases {
+		if got := p.FreeAt(c.t); got != c.want {
+			t.Errorf("FreeAt(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddHold(t *testing.T) {
+	p := New(0, 10)
+	p.AddHold(5*sim.Second, 15*sim.Second, 6)
+	if got := p.FreeAt(0); got != 10 {
+		t.Errorf("before hold: %d", got)
+	}
+	if got := p.FreeAt(5 * sim.Second); got != 4 {
+		t.Errorf("in hold: %d", got)
+	}
+	if got := p.FreeAt(15 * sim.Second); got != 10 {
+		t.Errorf("after hold: %d", got)
+	}
+	// Hold with Forever end.
+	p.AddHold(20*sim.Second, sim.Forever, 3)
+	if got := p.FreeAt(sim.Hour); got != 7 {
+		t.Errorf("forever hold: %d", got)
+	}
+	// Degenerate holds are no-ops.
+	q := New(0, 10)
+	q.AddHold(5, 5, 4)
+	q.AddHold(9, 3, 4)
+	q.AddHold(1, 2, 0)
+	if got := q.FreeAt(5); got != 10 {
+		t.Errorf("degenerate holds changed profile: %d", got)
+	}
+}
+
+func TestMinFree(t *testing.T) {
+	p := New(0, 10)
+	p.AddHold(10, 20, 7)
+	p.AddHold(15, 30, 2)
+	if got := p.MinFree(0, 40); got != 1 {
+		t.Errorf("MinFree(0,40) = %d, want 1", got)
+	}
+	if got := p.MinFree(0, 10); got != 10 {
+		t.Errorf("MinFree(0,10) = %d, want 10", got)
+	}
+	if got := p.MinFree(20, 30); got != 8 {
+		t.Errorf("MinFree(20,30) = %d, want 8", got)
+	}
+	if got := p.MinFree(5, 5); got != 10 {
+		t.Errorf("empty window MinFree = %d", got)
+	}
+}
+
+func TestFindSlot(t *testing.T) {
+	// 4 cores now, 8 more at t=100, 4 more at t=200 (total 16).
+	p := New(0, 4)
+	p.AddRelease(100, 8)
+	p.AddRelease(200, 4)
+
+	if got := p.FindSlot(4, 50, 0); got != 0 {
+		t.Errorf("4 cores fits now, got %v", got)
+	}
+	if got := p.FindSlot(8, 50, 0); got != 100 {
+		t.Errorf("8 cores should wait for t=100, got %v", got)
+	}
+	if got := p.FindSlot(16, 50, 0); got != 200 {
+		t.Errorf("16 cores should wait for t=200, got %v", got)
+	}
+	if got := p.FindSlot(17, 50, 0); got != sim.Forever {
+		t.Errorf("17 cores never fits, got %v", got)
+	}
+	// earliest constraint respected.
+	if got := p.FindSlot(4, 50, 150); got != 150 {
+		t.Errorf("earliest=150 should start at 150, got %v", got)
+	}
+	// Zero-core requests start immediately.
+	if got := p.FindSlot(0, 50, 42); got != 42 {
+		t.Errorf("zero-core slot = %v", got)
+	}
+}
+
+func TestFindSlotSkipsValleys(t *testing.T) {
+	// 8 free, but a hold [50,150) takes 6: a 60-long 8-core job cannot
+	// start before the hold clears.
+	p := New(0, 8)
+	p.AddHold(50, 150, 6)
+	if got := p.FindSlot(8, 60, 0); got != 150 {
+		t.Errorf("slot = %v, want 150", got)
+	}
+	// A short job fits before the valley.
+	if got := p.FindSlot(8, 50, 0); got != 0 {
+		t.Errorf("short slot = %v, want 0", got)
+	}
+	// A 2-core job fits inside the valley.
+	if got := p.FindSlot(2, 60, 20); got != 20 {
+		t.Errorf("small slot = %v, want 20", got)
+	}
+}
+
+func TestFindSlotInfiniteDuration(t *testing.T) {
+	p := New(0, 4)
+	p.AddRelease(100, 4)
+	p.AddHold(200, 300, 6)
+	// A forever-duration job must clear every future dip.
+	if got := p.FindSlot(8, sim.Forever, 0); got != 300 {
+		t.Errorf("forever-slot = %v, want 300", got)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	p := New(0, 8)
+	p.AddHold(10, 20, 4)
+	p.AddHold(10, 20, 0) // no-op
+	p.AddRelease(20, 0)  // no-op
+	p.AddHold(30, 40, 2)
+	p.AddRelease(35, 2) // cancels the hold from 35
+	p.Compact()
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	steps := p.Steps()
+	for i := 1; i < len(steps); i++ {
+		if steps[i].Free == steps[i-1].Free {
+			t.Errorf("Compact left equal adjacent steps: %v", steps)
+		}
+	}
+	// Behaviour preserved.
+	if p.FreeAt(15) != 4 || p.FreeAt(32) != 6 || p.FreeAt(37) != 8 {
+		t.Errorf("compact changed semantics: %s", p)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := New(0, 8)
+	p.AddHold(10, 20, 4)
+	c := p.Clone()
+	c.AddHold(0, 100, 8)
+	if p.FreeAt(5) != 8 {
+		t.Error("clone aliases original")
+	}
+	if c.FreeAt(5) != 0 {
+		t.Error("clone missing mutation")
+	}
+}
+
+func TestString(t *testing.T) {
+	p := New(0, 8)
+	p.AddHold(10*sim.Second, 20*sim.Second, 4)
+	s := p.String()
+	if s == "" || s[0] != '[' {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: FreeAt is consistent with the sum of releases minus active
+// holds at any query point, under random operation sequences.
+func TestProfileConsistencyProperty(t *testing.T) {
+	type hold struct {
+		start, end sim.Time
+		cores      int
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := 1 + rng.Intn(64)
+		p := New(0, base)
+		var releases []hold // end unused
+		var holds []hold
+		for i := 0; i < 20; i++ {
+			if rng.Intn(2) == 0 {
+				h := hold{start: sim.Time(rng.Intn(1000)), cores: rng.Intn(8)}
+				releases = append(releases, h)
+				p.AddRelease(h.start, h.cores)
+			} else {
+				s := sim.Time(rng.Intn(1000))
+				h := hold{start: s, end: s + sim.Time(1+rng.Intn(500)), cores: rng.Intn(8)}
+				holds = append(holds, h)
+				p.AddHold(h.start, h.end, h.cores)
+			}
+		}
+		if err := p.CheckInvariants(); err != nil {
+			return false
+		}
+		for q := 0; q < 50; q++ {
+			at := sim.Time(rng.Intn(2000))
+			want := base
+			for _, r := range releases {
+				if at >= r.start {
+					want += r.cores
+				}
+			}
+			for _, h := range holds {
+				if at >= h.start && at < h.end {
+					want -= h.cores
+				}
+			}
+			if p.FreeAt(at) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FindSlot's answer actually fits, and no earlier boundary
+// fits (minimality at step granularity).
+func TestFindSlotMinimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(0, 1+rng.Intn(32))
+		for i := 0; i < 10; i++ {
+			s := sim.Time(rng.Intn(500))
+			p.AddHold(s, s+sim.Time(1+rng.Intn(300)), rng.Intn(6))
+			p.AddRelease(sim.Time(rng.Intn(500)), rng.Intn(6))
+		}
+		cores := 1 + rng.Intn(32)
+		dur := sim.Duration(1 + rng.Intn(400))
+		got := p.FindSlot(cores, dur, 0)
+		if got == sim.Forever {
+			// Verify no boundary fits.
+			for _, s := range p.Steps() {
+				if p.MinFree(s.T, s.T+dur) >= cores {
+					return false
+				}
+			}
+			return true
+		}
+		if p.MinFree(got, got+dur) < cores {
+			return false
+		}
+		// No earlier candidate (0 or any earlier boundary) fits.
+		if got > 0 && p.MinFree(0, dur) >= cores {
+			return false
+		}
+		for _, s := range p.Steps() {
+			if s.T < got && p.MinFree(s.T, s.T+dur) >= cores {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

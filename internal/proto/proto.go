@@ -1,0 +1,386 @@
+// Package proto defines the wire protocol of the live batch system:
+// length-prefixed JSON messages over TCP, used on three links that
+// mirror the Torque/Maui architecture (Fig. 2 of the paper):
+//
+//   - client ↔ server (qsub/qstat/qdel)
+//   - mom ↔ server (registration, job start, dynamic allocation)
+//   - mom ↔ mom (join / dyn_join / dyn_disjoin host-set coordination)
+//   - scheduler ↔ server (workload pull, decision commit) when the
+//     Maui analog runs as a separate daemon
+//
+// Every message travels inside an Envelope carrying its type tag; the
+// payload is the JSON encoding of the corresponding struct.
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MsgType tags an envelope's payload.
+type MsgType string
+
+// Message types.
+const (
+	// Client → server.
+	TQSub  MsgType = "qsub"
+	TQStat MsgType = "qstat"
+	TQDel  MsgType = "qdel"
+
+	// Server → client.
+	TQSubResp  MsgType = "qsub.resp"
+	TQStatResp MsgType = "qstat.resp"
+
+	// Mom → server.
+	TRegister MsgType = "mom.register"
+	TJobDone  MsgType = "mom.jobdone"
+	TDynGet   MsgType = "mom.dynget"  // forwarded tm_dynget (mother superior only)
+	TDynFree  MsgType = "mom.dynfree" // forwarded tm_dynfree
+
+	// Server → mom.
+	TRunJob     MsgType = "srv.runjob"
+	TKillJob    MsgType = "srv.killjob"
+	TDynGetResp MsgType = "srv.dynget.resp"
+
+	// Mom ↔ mom.
+	TJoin       MsgType = "mom.join"
+	TDynJoin    MsgType = "mom.dynjoin"
+	TDynDisjoin MsgType = "mom.dyndisjoin"
+
+	// App ↔ mom (the TM interface).
+	TTMDynGet  MsgType = "tm.dynget"
+	TTMDynFree MsgType = "tm.dynfree"
+	TTMDone    MsgType = "tm.done"
+	TTMResp    MsgType = "tm.resp"
+
+	// Scheduler ↔ server (external Maui daemon).
+	TSchedPull   MsgType = "sched.pull"
+	TSchedState  MsgType = "sched.state"
+	TSchedCommit MsgType = "sched.commit"
+
+	// Generic replies.
+	TOK    MsgType = "ok"
+	TError MsgType = "error"
+)
+
+// Envelope frames every message.
+type Envelope struct {
+	Type    MsgType         `json:"type"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// maxFrame bounds a frame to keep a corrupted peer from triggering a
+// huge allocation.
+const maxFrame = 16 << 20
+
+// Conn is a framed JSON connection, safe for one reader and one writer
+// goroutine concurrently (writes are additionally serialized so
+// multiple goroutines may send).
+type Conn struct {
+	c  net.Conn
+	wm sync.Mutex
+	rm sync.Mutex
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+
+// Dial connects to addr and wraps the connection.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr exposes the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// Send marshals payload and writes one frame.
+func (c *Conn) Send(t MsgType, payload any) error {
+	var raw json.RawMessage
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return fmt.Errorf("proto: marshal %s: %w", t, err)
+		}
+		raw = b
+	}
+	frame, err := json.Marshal(Envelope{Type: t, Payload: raw})
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = c.c.Write(frame)
+	return err
+}
+
+// Recv reads one frame and returns its envelope.
+func (c *Conn) Recv() (*Envelope, error) {
+	c.rm.Lock()
+	defer c.rm.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("proto: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.c, buf); err != nil {
+		return nil, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return nil, fmt.Errorf("proto: bad envelope: %w", err)
+	}
+	return &env, nil
+}
+
+// Decode unmarshals an envelope payload into dst.
+func (e *Envelope) Decode(dst any) error {
+	if len(e.Payload) == 0 {
+		return fmt.Errorf("proto: %s has no payload", e.Type)
+	}
+	return json.Unmarshal(e.Payload, dst)
+}
+
+// Request sends one message and waits for a single reply — the
+// client-command pattern (qsub and friends).
+func (c *Conn) Request(t MsgType, payload any) (*Envelope, error) {
+	if err := c.Send(t, payload); err != nil {
+		return nil, err
+	}
+	return c.Recv()
+}
+
+// --- payload structs ---
+
+// JobSpec is what qsub submits.
+type JobSpec struct {
+	Name     string `json:"name"`
+	User     string `json:"user"`
+	Group    string `json:"group,omitempty"`
+	Account  string `json:"account,omitempty"`
+	Cores    int    `json:"cores,omitempty"` // core-granular request
+	Nodes    int    `json:"nodes,omitempty"` // node-granular request
+	PPN      int    `json:"ppn,omitempty"`
+	WallSecs int64  `json:"wall_secs"`
+	// Script selects the application: "sleep:<dur>", "go:<name>"
+	// (process-registered Go function), or "exec:<cmdline>".
+	Script   string `json:"script"`
+	Evolving bool   `json:"evolving,omitempty"`
+	// SystemPriority lifts the job over all others (ESP Z jobs).
+	SystemPriority int64 `json:"sysprio,omitempty"`
+}
+
+// HostSlice is part of an allocation on one node.
+type HostSlice struct {
+	Node  string `json:"node"`
+	Addr  string `json:"addr"` // mom address for joins / TM spawns
+	Cores int    `json:"cores"`
+}
+
+// QSubResp acknowledges a submission.
+type QSubResp struct {
+	JobID int    `json:"job_id"`
+	Error string `json:"error,omitempty"`
+}
+
+// JobStatus is one qstat row.
+type JobStatus struct {
+	ID       int     `json:"id"`
+	Name     string  `json:"name"`
+	User     string  `json:"user"`
+	State    string  `json:"state"`
+	Cores    int     `json:"cores"`
+	DynCores int     `json:"dyn_cores"`
+	WaitSecs float64 `json:"wait_secs"`
+	Hosts    []HostSlice
+}
+
+// QStatResp lists queue contents and node states.
+type QStatResp struct {
+	Jobs  []JobStatus  `json:"jobs"`
+	Nodes []NodeStatus `json:"nodes"`
+}
+
+// NodeStatus is one node row of qstat/pbsnodes output.
+type NodeStatus struct {
+	Name  string `json:"name"`
+	Cores int    `json:"cores"`
+	Used  int    `json:"used"`
+	State string `json:"state"`
+}
+
+// QDelReq cancels a job.
+type QDelReq struct {
+	JobID int `json:"job_id"`
+}
+
+// RegisterReq announces a mom to the server.
+type RegisterReq struct {
+	Node  string `json:"node"`
+	Addr  string `json:"addr"` // mom's listen address for TM/joins
+	Cores int    `json:"cores"`
+}
+
+// RunJobReq starts a job on its mother superior (Hosts[0]).
+type RunJobReq struct {
+	JobID int         `json:"job_id"`
+	Spec  JobSpec     `json:"spec"`
+	Hosts []HostSlice `json:"hosts"`
+}
+
+// KillJobReq stops a running job (walltime or qdel).
+type KillJobReq struct {
+	JobID int `json:"job_id"`
+}
+
+// JobDoneReq reports completion from the mother superior.
+type JobDoneReq struct {
+	JobID int    `json:"job_id"`
+	Error string `json:"error,omitempty"`
+}
+
+// DynGetReq is the forwarded tm_dynget (Fig. 3 step 2→3).
+type DynGetReq struct {
+	JobID int `json:"job_id"`
+	Cores int `json:"cores,omitempty"`
+	Nodes int `json:"nodes,omitempty"`
+	PPN   int `json:"ppn,omitempty"`
+	// TimeoutSecs > 0 selects the negotiation protocol: the request
+	// stays queued until granted or the timeout passes.
+	TimeoutSecs int64 `json:"timeout_secs,omitempty"`
+}
+
+// DynGetResp returns the verdict and, if granted, the new hosts
+// (Fig. 3 step 5→6).
+type DynGetResp struct {
+	JobID   int         `json:"job_id"`
+	Granted bool        `json:"granted"`
+	Reason  string      `json:"reason,omitempty"`
+	Hosts   []HostSlice `json:"hosts,omitempty"`
+}
+
+// DynFreeReq releases part of an allocation (Fig. 4).
+type DynFreeReq struct {
+	JobID int         `json:"job_id"`
+	Hosts []HostSlice `json:"hosts"`
+}
+
+// JoinReq is the mom↔mom (dyn_)join handshake.
+type JoinReq struct {
+	JobID   int         `json:"job_id"`
+	Dynamic bool        `json:"dynamic"` // dyn_join vs initial join
+	Hosts   []HostSlice `json:"hosts"`
+}
+
+// TMDynGetReq is the application-side tm_dynget call.
+type TMDynGetReq struct {
+	JobID int `json:"job_id"`
+	Cores int `json:"cores,omitempty"`
+	Nodes int `json:"nodes,omitempty"`
+	PPN   int `json:"ppn,omitempty"`
+	// TimeoutSecs > 0 selects the negotiation protocol.
+	TimeoutSecs int64 `json:"timeout_secs,omitempty"`
+}
+
+// TMDynFreeReq is the application-side tm_dynfree call.
+type TMDynFreeReq struct {
+	JobID int         `json:"job_id"`
+	Hosts []HostSlice `json:"hosts"`
+}
+
+// TMDoneReq tells the local mom the application finished.
+type TMDoneReq struct {
+	JobID int    `json:"job_id"`
+	Error string `json:"error,omitempty"`
+}
+
+// TMResp answers any TM call.
+type TMResp struct {
+	OK     bool        `json:"ok"`
+	Reason string      `json:"reason,omitempty"`
+	Hosts  []HostSlice `json:"hosts,omitempty"`
+}
+
+// ErrorResp carries a failure back to the requester.
+type ErrorResp struct {
+	Error string `json:"error"`
+}
+
+// SchedJob is one job in the scheduler's workload snapshot.
+type SchedJob struct {
+	ID         int    `json:"id"`
+	Name       string `json:"name"`
+	User       string `json:"user"`
+	Group      string `json:"group"`
+	State      string `json:"state"`
+	Cores      int    `json:"cores"`
+	DynCores   int    `json:"dyn_cores"`
+	WallSecs   int64  `json:"wall_secs"`
+	SubmitMS   int64  `json:"submit_ms"`
+	StartMS    int64  `json:"start_ms"`
+	SysPrio    int64  `json:"sysprio"`
+	Evolving   bool   `json:"evolving"`
+	Backfilled bool   `json:"backfilled"`
+}
+
+// SchedDynReq is one pending dynamic request in the snapshot.
+type SchedDynReq struct {
+	JobID int `json:"job_id"`
+	Cores int `json:"cores,omitempty"`
+	Nodes int `json:"nodes,omitempty"`
+	PPN   int `json:"ppn,omitempty"`
+	Seq   int `json:"seq"`
+	// DeadlineMS carries the negotiation deadline (0 = immediate
+	// verdict semantics).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// SchedState is the full snapshot an external scheduler plans against.
+type SchedState struct {
+	NowMS  int64         `json:"now_ms"`
+	Nodes  []NodeStatus  `json:"nodes"`
+	Queued []SchedJob    `json:"queued"`
+	Active []SchedJob    `json:"active"`
+	Dyn    []SchedDynReq `json:"dyn"`
+	Serial uint64        `json:"serial"` // state version for commit validation
+}
+
+// SchedAction is one decision in a commit.
+type SchedAction struct {
+	// Kind: "start", "grant", "reject".
+	Kind   string `json:"kind"`
+	JobID  int    `json:"job_id"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// SchedCommit ships the iteration's decisions back to the server.
+type SchedCommit struct {
+	Serial  uint64        `json:"serial"`
+	Actions []SchedAction `json:"actions"`
+}
+
+// SchedCommitResp reports how many actions were applied (stale ones
+// are skipped, not errors).
+type SchedCommitResp struct {
+	Applied int `json:"applied"`
+	Skipped int `json:"skipped"`
+}

@@ -1,0 +1,160 @@
+package proto
+
+import (
+	"net"
+	"sync"
+	"testing"
+)
+
+func pipePair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var srv *Conn
+	done := make(chan struct{})
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			srv = NewConn(c)
+		}
+		close(done)
+	}()
+	cli, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if srv == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	return cli, srv
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	cli, srv := pipePair(t)
+	spec := JobSpec{Name: "F.1", User: "user06", Cores: 8, WallSecs: 1846, Script: "sleep:1846s", Evolving: true}
+	if err := cli.Send(TQSub, spec); err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TQSub {
+		t.Fatalf("type = %s", env.Type)
+	}
+	var got JobSpec
+	if err := env.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got != spec {
+		t.Errorf("round trip: %+v != %+v", got, spec)
+	}
+}
+
+func TestRequestResponse(t *testing.T) {
+	cli, srv := pipePair(t)
+	go func() {
+		env, err := srv.Recv()
+		if err != nil {
+			return
+		}
+		var req QDelReq
+		_ = env.Decode(&req)
+		_ = srv.Send(TOK, QSubResp{JobID: req.JobID})
+	}()
+	resp, err := cli.Request(TQDel, QDelReq{JobID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r QSubResp
+	if err := resp.Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.JobID != 7 {
+		t.Errorf("echo = %d", r.JobID)
+	}
+}
+
+func TestNilPayload(t *testing.T) {
+	cli, srv := pipePair(t)
+	if err := cli.Send(TQStat, nil); err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TQStat {
+		t.Fatal("type mismatch")
+	}
+	var dst QStatResp
+	if err := env.Decode(&dst); err == nil {
+		t.Error("decoding an empty payload should error")
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	cli, srv := pipePair(t)
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = cli.Send(TJobDone, JobDoneReq{JobID: i})
+		}(i)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		env, err := srv.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r JobDoneReq
+		if err := env.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		if seen[r.JobID] {
+			t.Fatalf("duplicate frame for %d (interleaved write?)", r.JobID)
+		}
+		seen[r.JobID] = true
+	}
+	wg.Wait()
+}
+
+func TestRecvOnClosedConn(t *testing.T) {
+	cli, srv := pipePair(t)
+	cli.Close()
+	if _, err := srv.Recv(); err == nil {
+		t.Error("recv on closed peer should error")
+	}
+}
+
+func TestSchedStatePayloads(t *testing.T) {
+	cli, srv := pipePair(t)
+	state := SchedState{
+		NowMS:  12345,
+		Nodes:  []NodeStatus{{Name: "node0", Cores: 8, Used: 4, State: "up"}},
+		Queued: []SchedJob{{ID: 1, User: "u", Cores: 4, WallSecs: 60}},
+		Active: []SchedJob{{ID: 2, User: "v", Cores: 8, State: "running", StartMS: 1000}},
+		Dyn:    []SchedDynReq{{JobID: 2, Cores: 4, Seq: 0}},
+		Serial: 42,
+	}
+	go func() { _ = srv.Send(TSchedState, state) }()
+	env, err := cli.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SchedState
+	if err := env.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Serial != 42 || len(got.Nodes) != 1 || got.Dyn[0].JobID != 2 {
+		t.Errorf("state round trip: %+v", got)
+	}
+}

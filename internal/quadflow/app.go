@@ -1,0 +1,95 @@
+package quadflow
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/rms"
+	"repro/internal/sim"
+)
+
+// App runs a Quadflow case as a batch job inside the simulated batch
+// system (implements rms.App): it computes phase after phase, and at
+// each grid adaptation whose load crosses the threshold it issues a
+// dynamic request through the server — the full §III-B workflow rather
+// than the closed-form Simulate.
+type App struct {
+	Case Case
+	// GrowCores is how many *additional* cores each dynamic request
+	// asks for (0 = double the current allocation).
+	GrowCores int
+	// Dynamic enables requests; a static App just computes.
+	Dynamic bool
+
+	procs    int
+	phase    int
+	expanded bool
+	done     []sim.Duration
+}
+
+// PhaseTimes returns the completed phases' durations.
+func (a *App) PhaseTimes() []sim.Duration { return append([]sim.Duration(nil), a.done...) }
+
+// Expanded reports whether a dynamic request was granted.
+func (a *App) Expanded() bool { return a.expanded }
+
+// OnStart begins phase 0 on the job's initial allocation.
+func (a *App) OnStart(s *rms.Server, j *job.Job, now sim.Time) {
+	a.procs = j.Cores
+	a.phase = 0
+	a.expanded = false
+	a.done = nil
+	// Safety net: the server's walltime enforcement is authoritative,
+	// but schedule a far-future completion so a model bug cannot hang
+	// the simulation.
+	s.ScheduleCompletion(j, now+j.Walltime)
+	a.beginPhase(s, j, now)
+}
+
+func (a *App) beginPhase(s *rms.Server, j *job.Job, now sim.Time) {
+	if a.phase >= len(a.Case.Phases) {
+		s.ScheduleCompletion(j, now)
+		return
+	}
+	p := a.Case.Phases[a.phase]
+	// Grid adaptation before every phase but the first: inspect the
+	// new load and possibly request resources before computing.
+	if a.Dynamic && a.phase > 0 && !a.expanded && p.Cells/a.procs > a.Case.Threshold {
+		extra := a.GrowCores
+		if extra <= 0 {
+			extra = a.procs
+		}
+		if err := s.RequestDyn(j, extra); err == nil {
+			return // compute resumes in OnDynResult
+		}
+	}
+	a.compute(s, j, now)
+}
+
+func (a *App) compute(s *rms.Server, j *job.Job, now sim.Time) {
+	p := a.Case.Phases[a.phase]
+	d := a.Case.PhaseTime(p, a.procs)
+	label := fmt.Sprintf("%s %s phase %d", j.ID, a.Case.Name, a.phase)
+	s.ScheduleAppEvent(j, now+d, label, func(end sim.Time) {
+		a.done = append(a.done, d)
+		a.phase++
+		a.beginPhase(s, j, end)
+	})
+}
+
+// OnDynResult resumes the pending phase, on the grown allocation if
+// the request was granted.
+func (a *App) OnDynResult(s *rms.Server, j *job.Job, granted bool, now sim.Time) {
+	if granted {
+		a.expanded = true
+		a.procs = j.TotalCores()
+	}
+	a.compute(s, j, now)
+}
+
+// OnPreempt resets progress; the solver restarts from the initial grid.
+func (a *App) OnPreempt(s *rms.Server, j *job.Job, now sim.Time) {
+	a.phase = 0
+	a.expanded = false
+	a.done = nil
+}

@@ -1,0 +1,194 @@
+// Package quadflow models the evolving CFD application of §IV-A: the
+// Quadflow flow solver performs a grid adaptation before each
+// computation phase; an adaptation can multiply the number of grid
+// cells, and when the cells-per-process load crosses a threshold the
+// application requests additional cores via tm_dynget.
+//
+// The model is synthetic (the real Quadflow is a proprietary MPI
+// code), but reproduces the properties Fig. 7 depends on:
+//
+//   - per-phase compute time grows with cells/process;
+//   - underloaded processes hit a load floor, so phases whose
+//     cells/process sit below the floor take the same time at 16 and
+//     32 cores ("the time until the final grid adaptation level is
+//     identical when executed with 16 or 32 cores");
+//   - the threshold is crossed at the final adaptation, and growing
+//     from 16 to 32 cores there saves ≈33% (Cylinder) / ≈17%
+//     (FlatPlate) of the total static execution time, with the
+//     request landing at ≈16% / ≈55% of the static run respectively.
+package quadflow
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Phase is one computation phase (the grid state between two
+// adaptations).
+type Phase struct {
+	// Cells is the grid size during this phase.
+	Cells int
+	// Iters is the number of solver iterations in the phase.
+	Iters int
+}
+
+// Case is a Quadflow test configuration.
+type Case struct {
+	Name string
+	// Threshold is the cells-per-process count above which the
+	// application requests additional resources (§IV-A: 3000 for
+	// FlatPlate, 15000 for Cylinder).
+	Threshold int
+	// MinLoad is the per-process load floor: below it, extra processes
+	// do not speed a phase up (underloaded resources, §IV-A).
+	MinLoad int
+	// CellCost is seconds per cell per iteration per process-load unit.
+	CellCost float64
+	// Phases are the computation phases; Phases[i] follows the i-th
+	// grid adaptation (Phases[0] is the initial grid).
+	Phases []Phase
+}
+
+// Adaptations returns the number of grid adaptations the case performs.
+func (c Case) Adaptations() int { return len(c.Phases) - 1 }
+
+// PhaseTime returns the duration of one phase on procs processes.
+func (c Case) PhaseTime(p Phase, procs int) sim.Duration {
+	load := float64(p.Cells) / float64(procs)
+	if load < float64(c.MinLoad) {
+		load = float64(c.MinLoad)
+	}
+	return sim.Seconds(float64(p.Iters) * c.CellCost * load)
+}
+
+// FlatPlate returns the laminar boundary-layer validation case
+// (Mach 2.6): two adaptations, threshold 3000 cells/process. The
+// computational intensity per cell is ~4.5× the Cylinder case (§IV-A:
+// "the FlatPlate case with one cell is equivalent to the Cylinder case
+// with 4-5 cells").
+func FlatPlate() Case {
+	return Case{
+		Name:      "FlatPlate",
+		Threshold: 3000,
+		MinLoad:   2800,
+		CellCost:  0.055,
+		Phases: []Phase{
+			{Cells: 18000, Iters: 89},
+			{Cells: 36000, Iters: 137},
+			{Cells: 72000, Iters: 115},
+		},
+	}
+}
+
+// Cylinder returns the supersonic 2D-cylinder case (Mach 5.28): five
+// adaptations, threshold 15000 cells/process, strong growth at the
+// final adaptation (bow-shock refinement).
+func Cylinder() Case {
+	return Case{
+		Name:      "Cylinder",
+		Threshold: 15000,
+		MinLoad:   14500,
+		CellCost:  0.0126,
+		Phases: []Phase{
+			{Cells: 12000, Iters: 6},
+			{Cells: 24000, Iters: 10},
+			{Cells: 48000, Iters: 16},
+			{Cells: 96000, Iters: 26},
+			{Cells: 192000, Iters: 37},
+			{Cells: 384000, Iters: 300},
+		},
+	}
+}
+
+// Cases returns the two published test cases.
+func Cases() []Case { return []Case{FlatPlate(), Cylinder()} }
+
+// RunResult is the outcome of one simulated Quadflow execution.
+type RunResult struct {
+	Case       string
+	Dynamic    bool
+	StartCores int
+	// PhaseTimes are the per-phase durations in execution order (the
+	// shaded segments of Fig. 7).
+	PhaseTimes []sim.Duration
+	// PhaseCores records the core count each phase ran on.
+	PhaseCores []int
+	Total      sim.Duration
+	// Expanded reports whether a dynamic request was issued & granted.
+	Expanded bool
+	// ExpandAt is the elapsed time at which the allocation grew.
+	ExpandAt sim.Duration
+	// Overhead is the dynamic-allocation latency that was charged.
+	Overhead sim.Duration
+}
+
+// Simulate runs a case. Static runs keep startCores throughout.
+// Dynamic runs check the threshold after every grid adaptation and
+// grow the allocation to growCores when crossed, charging the given
+// allocation overhead (the paper measures it sub-second, Fig. 12).
+func Simulate(c Case, startCores int, dynamic bool, growCores int, overhead sim.Duration) RunResult {
+	res := RunResult{Case: c.Name, Dynamic: dynamic, StartCores: startCores}
+	procs := startCores
+	var elapsed sim.Duration
+	for i, p := range c.Phases {
+		// A grid adaptation precedes every phase but the first; the
+		// application inspects its new load and may request resources
+		// (tm_dynget) before computing.
+		if dynamic && i > 0 && !res.Expanded && p.Cells/procs > c.Threshold {
+			elapsed += overhead
+			res.Expanded = true
+			res.ExpandAt = elapsed
+			res.Overhead = overhead
+			procs = growCores
+		}
+		d := c.PhaseTime(p, procs)
+		res.PhaseTimes = append(res.PhaseTimes, d)
+		res.PhaseCores = append(res.PhaseCores, procs)
+		elapsed += d
+	}
+	res.Total = elapsed
+	return res
+}
+
+// Fig7 runs the three published configurations of one case — static on
+// baseCores, static on 2×baseCores, dynamic growing from baseCores to
+// 2×baseCores — and returns them in that order.
+func Fig7(c Case, baseCores int, overhead sim.Duration) [3]RunResult {
+	return [3]RunResult{
+		Simulate(c, baseCores, false, 0, 0),
+		Simulate(c, 2*baseCores, false, 0, 0),
+		Simulate(c, baseCores, true, 2*baseCores, overhead),
+	}
+}
+
+// Savings returns the fractional execution-time saving of a dynamic
+// run over a static baseline.
+func Savings(static, dynamic RunResult) float64 {
+	if static.Total == 0 {
+		return 0
+	}
+	return 1 - float64(dynamic.Total)/float64(static.Total)
+}
+
+// FormatFig7 renders the Fig. 7 comparison of one case.
+func FormatFig7(c Case, runs [3]RunResult) string {
+	out := fmt.Sprintf("%s (threshold %d cells/process, %d adaptations)\n",
+		c.Name, c.Threshold, c.Adaptations())
+	label := [3]string{
+		fmt.Sprintf("static %d cores", runs[0].StartCores),
+		fmt.Sprintf("static %d cores", runs[1].StartCores),
+		fmt.Sprintf("dynamic %d→%d", runs[2].StartCores, runs[2].PhaseCores[len(runs[2].PhaseCores)-1]),
+	}
+	for i, r := range runs {
+		out += fmt.Sprintf("  %-18s total %8s  phases:", label[i], sim.FormatTime(r.Total))
+		for k, d := range r.PhaseTimes {
+			out += fmt.Sprintf(" %s@%d", sim.FormatTime(d), r.PhaseCores[k])
+		}
+		out += "\n"
+	}
+	out += fmt.Sprintf("  dynamic saves %.1f%% vs static-%d (request at %.1f%% of static run)\n",
+		Savings(runs[0], runs[2])*100, runs[0].StartCores,
+		float64(runs[2].ExpandAt)/float64(runs[0].Total)*100)
+	return out
+}

@@ -1,0 +1,228 @@
+package quadflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/fairness"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/rms"
+	"repro/internal/sim"
+)
+
+func TestCaseShapes(t *testing.T) {
+	fp := FlatPlate()
+	if fp.Adaptations() != 2 {
+		t.Errorf("FlatPlate adaptations = %d, want 2 (§IV-A)", fp.Adaptations())
+	}
+	cyl := Cylinder()
+	if cyl.Adaptations() != 5 {
+		t.Errorf("Cylinder adaptations = %d, want 5 (§IV-A)", cyl.Adaptations())
+	}
+	if fp.Threshold != 3000 || cyl.Threshold != 15000 {
+		t.Error("thresholds per §IV-A")
+	}
+	// Cells grow monotonically (adaptive refinement).
+	for _, c := range Cases() {
+		for i := 1; i < len(c.Phases); i++ {
+			if c.Phases[i].Cells <= c.Phases[i-1].Cells {
+				t.Errorf("%s phase %d cells did not grow", c.Name, i)
+			}
+		}
+	}
+	// FlatPlate is ~4.5x as compute-intensive per cell as Cylinder.
+	ratio := fp.CellCost / cyl.CellCost
+	if ratio < 4 || ratio > 5 {
+		t.Errorf("per-cell intensity ratio = %.2f, want 4-5", ratio)
+	}
+}
+
+func TestThresholdCrossedOnlyAtFinalAdaptation(t *testing.T) {
+	// The paper: "The threshold ... was exceeded in the final grid
+	// adaptation phase in both cases."
+	for _, c := range Cases() {
+		for i, p := range c.Phases {
+			crossed := p.Cells/16 > c.Threshold
+			if i == len(c.Phases)-1 && !crossed {
+				t.Errorf("%s final phase must cross the threshold at 16 procs", c.Name)
+			}
+			if i < len(c.Phases)-1 && crossed {
+				t.Errorf("%s phase %d crosses the threshold early", c.Name, i)
+			}
+		}
+		// After doubling to 32 the load is back under the threshold.
+		last := c.Phases[len(c.Phases)-1]
+		if last.Cells/32 > c.Threshold {
+			t.Errorf("%s final phase still over threshold at 32 procs", c.Name)
+		}
+	}
+}
+
+func TestEarlyPhasesDoNotSpeedUp(t *testing.T) {
+	// Fig. 7: time until the final adaptation is identical at 16 and
+	// 32 cores (underloaded processes).
+	for _, c := range Cases() {
+		for i, p := range c.Phases[:len(c.Phases)-1] {
+			t16 := c.PhaseTime(p, 16)
+			t32 := c.PhaseTime(p, 32)
+			if t16 != t32 {
+				t.Errorf("%s phase %d: 16-core %v != 32-core %v", c.Name, i, t16, t32)
+			}
+		}
+		// The final phase does speed up.
+		last := c.Phases[len(c.Phases)-1]
+		if c.PhaseTime(last, 32) >= c.PhaseTime(last, 16) {
+			t.Errorf("%s final phase must speed up with 32 cores", c.Name)
+		}
+	}
+}
+
+func TestFig7Savings(t *testing.T) {
+	// Paper: Cylinder 33% faster (10 h saved), FlatPlate 17% (3 h).
+	cyl := Fig7(Cylinder(), 16, 500*sim.Millisecond)
+	s := Savings(cyl[0], cyl[2])
+	if s < 0.30 || s > 0.36 {
+		t.Errorf("Cylinder dynamic saving = %.1f%%, want ≈33%%", s*100)
+	}
+	// Static 16-core Cylinder runs ~30 h; the saving is ~10 h.
+	saved := cyl[0].Total - cyl[2].Total
+	if saved < 8*sim.Hour || saved > 12*sim.Hour {
+		t.Errorf("Cylinder absolute saving = %v, want ≈10 h", saved)
+	}
+	if cyl[0].Total < 25*sim.Hour || cyl[0].Total > 35*sim.Hour {
+		t.Errorf("Cylinder static total = %v, want ≈30 h", cyl[0].Total)
+	}
+	// Request lands at ≈16% of the static execution time (§IV-B).
+	frac := float64(cyl[2].ExpandAt) / float64(cyl[0].Total)
+	if frac < 0.14 || frac > 0.18 {
+		t.Errorf("Cylinder request point = %.1f%% of SET, want ≈16%%", frac*100)
+	}
+
+	fp := Fig7(FlatPlate(), 16, 500*sim.Millisecond)
+	s = Savings(fp[0], fp[2])
+	if s < 0.14 || s > 0.20 {
+		t.Errorf("FlatPlate dynamic saving = %.1f%%, want ≈17%%", s*100)
+	}
+	saved = fp[0].Total - fp[2].Total
+	if saved < 2*sim.Hour || saved > 4*sim.Hour {
+		t.Errorf("FlatPlate absolute saving = %v, want ≈3 h", saved)
+	}
+}
+
+func TestDynamicMatchesStaticTails(t *testing.T) {
+	// The dynamic run's final phase runs at the 32-core pace; its
+	// early phases at the 16-core pace (which equal the 32-core pace).
+	for _, c := range Cases() {
+		runs := Fig7(c, 16, 0)
+		n := len(c.Phases)
+		for i := 0; i < n-1; i++ {
+			if runs[2].PhaseTimes[i] != runs[0].PhaseTimes[i] {
+				t.Errorf("%s dynamic phase %d should match static-16", c.Name, i)
+			}
+		}
+		if runs[2].PhaseTimes[n-1] != runs[1].PhaseTimes[n-1] {
+			t.Errorf("%s dynamic final phase should match static-32", c.Name)
+		}
+		if !runs[2].Expanded {
+			t.Errorf("%s dynamic run never expanded", c.Name)
+		}
+		if runs[0].Expanded || runs[1].Expanded {
+			t.Error("static runs must not expand")
+		}
+	}
+}
+
+func TestSimulateOverheadCharged(t *testing.T) {
+	c := Cylinder()
+	withOH := Simulate(c, 16, true, 32, sim.Second)
+	noOH := Simulate(c, 16, true, 32, 0)
+	if withOH.Total-noOH.Total != sim.Second {
+		t.Errorf("overhead delta = %v, want 1s", withOH.Total-noOH.Total)
+	}
+	if withOH.Overhead != sim.Second {
+		t.Error("overhead not recorded")
+	}
+}
+
+func TestSavingsDegenerate(t *testing.T) {
+	if Savings(RunResult{}, RunResult{}) != 0 {
+		t.Error("zero-total savings should be 0")
+	}
+}
+
+func TestFormatFig7(t *testing.T) {
+	c := Cylinder()
+	out := FormatFig7(c, Fig7(c, 16, 0))
+	if !strings.Contains(out, "Cylinder") || !strings.Contains(out, "dynamic saves") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+// TestAppInBatchSystem runs the Quadflow App through the full
+// simulated batch system and checks it matches the closed-form
+// Simulate result (modulo the scheduling round-trip, which is
+// instantaneous in virtual time).
+func TestAppInBatchSystem(t *testing.T) {
+	for _, c := range Cases() {
+		eng := sim.NewEngine()
+		cl := cluster.New(15, 8)
+		sched := core.New(core.Options{Config: config.Default()}, 0)
+		rec := metrics.NewRecorder(cl.TotalCores())
+		srv := rms.NewServer(eng, cl, sched, rec)
+
+		app := &App{Case: c, Dynamic: true}
+		j := &job.Job{
+			Name: c.Name, Cred: job.Credentials{User: "cfd"},
+			Class: job.Evolving, Cores: 16, Walltime: 100 * sim.Hour,
+		}
+		srv.Submit(j, app)
+		srv.Run(0)
+
+		if j.State != job.Completed {
+			t.Fatalf("%s: state = %v", c.Name, j.State)
+		}
+		if !app.Expanded() {
+			t.Fatalf("%s: app never expanded on an idle cluster", c.Name)
+		}
+		want := Simulate(c, 16, true, 32, 0)
+		if j.EndTime != want.Total {
+			t.Errorf("%s: batch end %v != closed-form %v", c.Name, j.EndTime, want.Total)
+		}
+		if got := len(app.PhaseTimes()); got != len(c.Phases) {
+			t.Errorf("%s: completed phases = %d", c.Name, got)
+		}
+	}
+}
+
+// TestAppRejectedContinuesStatic runs the App on a cluster with no
+// spare resources: the dynamic request is rejected and the run
+// degrades to the static 16-core time.
+func TestAppRejectedContinuesStatic(t *testing.T) {
+	c := FlatPlate()
+	eng := sim.NewEngine()
+	cl := cluster.New(2, 8) // exactly 16 cores, nothing spare
+	cfg := config.Default()
+	cfg.Fairness = fairness.NewConfig(fairness.None)
+	sched := core.New(core.Options{Config: cfg}, 0)
+	srv := rms.NewServer(eng, cl, sched, metrics.NewRecorder(cl.TotalCores()))
+
+	app := &App{Case: c, Dynamic: true}
+	j := &job.Job{
+		Name: c.Name, Cred: job.Credentials{User: "cfd"},
+		Class: job.Evolving, Cores: 16, Walltime: 100 * sim.Hour,
+	}
+	srv.Submit(j, app)
+	srv.Run(0)
+
+	if app.Expanded() {
+		t.Fatal("no spare cores: must not expand")
+	}
+	want := Simulate(c, 16, false, 0, 0)
+	if j.EndTime != want.Total {
+		t.Errorf("rejected run end %v != static %v", j.EndTime, want.Total)
+	}
+}

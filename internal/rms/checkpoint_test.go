@@ -1,0 +1,76 @@
+package rms
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/fairness"
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// preemptScenario builds the standard preemption setup: an evolving
+// high-priority job whose dynamic request preempts a backfilled
+// victim running the given app.
+func preemptScenario(t *testing.T, victimApp App) (*harness, *job.Job) {
+	t.Helper()
+	h := newHarness(2, 8, fairness.None, func(c *config.SchedConfig) {
+		c.PreemptPolicy = "REQUEUE"
+	})
+	long := &job.Job{Name: "hp", Cred: job.Credentials{User: "a"}, Class: job.Evolving, Cores: 8, Walltime: 2 * sim.Hour}
+	h.srv.Submit(long, &FixedApp{Runtime: sim.Hour})
+	big := &job.Job{Name: "big", Cred: job.Credentials{User: "b"}, Cores: 16, Walltime: sim.Hour}
+	h.srv.SubmitAt(sim.Second, big, &FixedApp{Runtime: 30 * sim.Minute})
+	victim := &job.Job{Name: "bf", Cred: job.Credentials{User: "c"}, Cores: 8, Walltime: 40 * sim.Minute}
+	h.srv.SubmitAt(2*sim.Second, victim, victimApp)
+	h.eng.At(10*sim.Minute, "dynget", func(sim.Time) {
+		if victim.State == job.Running {
+			_ = h.srv.RequestDyn(long, 8)
+		}
+	})
+	return h, victim
+}
+
+// TestCheckpointablePreemption: with checkpointing, the preempted job
+// resumes from where it stopped and finishes earlier than a full
+// restart would.
+func TestCheckpointablePreemption(t *testing.T) {
+	app := &FixedApp{Runtime: 20 * sim.Minute, Checkpointable: true}
+	h, victim := preemptScenario(t, app)
+	h.srv.Run(0)
+	if victim.State != job.Completed {
+		t.Fatalf("victim state = %v", victim.State)
+	}
+	// Preempted at 10 min with ~10 min of progress: after the restart
+	// only ~10 min remain, so total run-segment time is ~20 min.
+	restartRun := victim.EndTime - victim.StartTime
+	if restartRun >= 20*sim.Minute {
+		t.Errorf("checkpointed restart segment = %v, want < 20m (resumed, not recomputed)", restartRun)
+	}
+	// The restart segment is exactly the checkpointed remainder.
+	if restartRun != app.Remaining() {
+		t.Errorf("restart segment %v != checkpointed remainder %v", restartRun, app.Remaining())
+	}
+}
+
+// TestNonCheckpointableRestartsFromScratch is the control: the same
+// scenario without checkpointing recomputes the full 20 minutes.
+func TestNonCheckpointableRestartsFromScratch(t *testing.T) {
+	app := &FixedApp{Runtime: 20 * sim.Minute}
+	h, victim := preemptScenario(t, app)
+	h.srv.Run(0)
+	if victim.State != job.Completed {
+		t.Fatalf("victim state = %v", victim.State)
+	}
+	restartRun := victim.EndTime - victim.StartTime
+	if restartRun != 20*sim.Minute {
+		t.Errorf("restart segment = %v, want the full 20m", restartRun)
+	}
+}
+
+func TestFixedAppRemainingBeforeStart(t *testing.T) {
+	app := &FixedApp{Runtime: 5 * sim.Minute, Checkpointable: true}
+	if app.Remaining() != 5*sim.Minute {
+		t.Error("Remaining before first start should be the full runtime")
+	}
+}

@@ -1,0 +1,99 @@
+package rms
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FailurePolicy selects what happens to jobs that lose cores when a
+// node fails and neither the application nor a spare node can absorb
+// the loss.
+type FailurePolicy int
+
+const (
+	// FailCancel kills affected jobs (the default — what a plain
+	// Torque deployment does when a mom dies).
+	FailCancel FailurePolicy = iota
+	// FailRequeue requeues affected jobs to restart from scratch.
+	FailRequeue
+)
+
+// FaultAwareApp is the optional application interface for fault
+// tolerance via dynamic allocation (§I: "Dynamic allocations also help
+// during node failures by allocating spare nodes to affected jobs").
+// OnNodeFailure is invoked after the lost cores are removed from the
+// job's allocation; returning true means the application absorbs the
+// loss and keeps running (typically after issuing a dynamic request
+// for replacement resources); returning false falls back to the
+// server's FailurePolicy.
+type FaultAwareApp interface {
+	OnNodeFailure(s *Server, j *job.Job, lostCores int, now sim.Time) bool
+}
+
+// FailNode marks a node Down and handles every affected job: the dead
+// cores are stripped from their allocations; fault-aware applications
+// may continue (and request spares), others are requeued or cancelled
+// per the server's FailurePolicy. Returns the affected job IDs.
+func (s *Server) FailNode(nodeID int) []job.ID {
+	now := s.eng.Now()
+	affected := s.cl.SetNodeState(nodeID, cluster.Down)
+	if s.Trace != nil {
+		s.Trace.Addf(now, trace.NodeDown, "", 0, "node%d failed", nodeID)
+	}
+	node := s.cl.Node(nodeID)
+	for _, id := range affected {
+		j, ok := s.active[id]
+		if !ok {
+			continue
+		}
+		lost := node.HeldBy(id)
+		if lost <= 0 {
+			continue
+		}
+		// Strip the dead cores from the allocation.
+		origCores := j.Cores
+		if err := s.cl.ReleasePartial(id, cluster.Alloc{{NodeID: nodeID, Cores: lost}}); err != nil {
+			continue
+		}
+		if lost > j.DynCores {
+			j.Cores -= lost - j.DynCores
+			j.DynCores = 0
+		} else {
+			j.DynCores -= lost
+		}
+		s.observeUsage()
+		if app, ok := s.apps[id].(FaultAwareApp); ok && app.OnNodeFailure(s, j, lost, now) {
+			continue // the application absorbs the failure
+		}
+		// Fallback: the job cannot continue degraded. Restore the
+		// original request size before requeueing/cancelling.
+		j.Cores = origCores
+		switch s.FailurePolicy {
+		case FailRequeue:
+			// Requeue via the preemption path (full restart).
+			_ = s.Preempt(j)
+		default:
+			s.CancelJob(j)
+		}
+	}
+	s.requestIteration()
+	return affected
+}
+
+// RepairNode returns a Down/Offline node to service.
+func (s *Server) RepairNode(nodeID int) {
+	s.cl.SetNodeState(nodeID, cluster.Up)
+	if s.Trace != nil {
+		s.Trace.Addf(s.eng.Now(), trace.NodeUp, "", 0, "node%d repaired", nodeID)
+	}
+	s.requestIteration()
+}
+
+// DrainNode marks a node Offline (administrative): running jobs keep
+// their cores, but nothing new is placed there.
+func (s *Server) DrainNode(nodeID int) {
+	s.cl.SetNodeState(nodeID, cluster.Offline)
+	s.requestIteration()
+}

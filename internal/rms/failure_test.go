@@ -1,0 +1,168 @@
+package rms
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fairness"
+	"repro/internal/job"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// spareSeeker is a fault-aware app: on a node failure it requests
+// replacement cores dynamically and keeps running.
+type spareSeeker struct {
+	FixedApp
+	replaced  bool
+	requested int
+}
+
+func (a *spareSeeker) OnNodeFailure(s *Server, j *job.Job, lost int, now sim.Time) bool {
+	a.requested = lost
+	// Request replacements; if even the request fails, absorb anyway
+	// (run degraded) — the point is the job survives.
+	_ = s.RequestDyn(j, lost)
+	return true
+}
+
+func (a *spareSeeker) OnDynResult(s *Server, j *job.Job, granted bool, now sim.Time) {
+	if granted {
+		a.replaced = true
+	}
+}
+
+func TestNodeFailureCancelsByDefault(t *testing.T) {
+	h := newHarness(2, 8, fairness.None, nil)
+	tr := &trace.Log{}
+	h.srv.Trace = tr
+	j := &job.Job{Name: "victim", Cred: job.Credentials{User: "u"}, Cores: 16, Walltime: sim.Hour}
+	h.srv.Submit(j, &FixedApp{Runtime: 30 * sim.Minute})
+	h.eng.At(5*sim.Minute, "fail", func(sim.Time) { h.srv.FailNode(0) })
+	h.srv.Run(0)
+	if j.State != job.Cancelled {
+		t.Fatalf("state = %v, want cancelled", j.State)
+	}
+	if j.EndTime != 5*sim.Minute {
+		t.Errorf("cancelled at %v", j.EndTime)
+	}
+	if len(tr.Filter(trace.NodeDown)) != 1 {
+		t.Error("NodeDown event missing")
+	}
+	if err := h.cl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The dead node accepts nothing.
+	if h.cl.TotalCores() != 8 {
+		t.Errorf("capacity = %d", h.cl.TotalCores())
+	}
+}
+
+func TestNodeFailureRequeuePolicy(t *testing.T) {
+	h := newHarness(2, 8, fairness.None, nil)
+	h.srv.FailurePolicy = FailRequeue
+	j := &job.Job{Name: "victim", Cred: job.Credentials{User: "u"}, Cores: 8, Walltime: sim.Hour}
+	h.srv.Submit(j, &FixedApp{Runtime: 30 * sim.Minute})
+	// Fail the node the job landed on.
+	h.eng.At(5*sim.Minute, "fail", func(sim.Time) {
+		h.srv.FailNode(h.cl.AllocOf(j.ID)[0].NodeID)
+	})
+	h.srv.Run(0)
+	// The job restarts on the surviving node and completes.
+	if j.State != job.Completed {
+		t.Fatalf("state = %v, want completed after requeue", j.State)
+	}
+	if j.StartTime != 5*sim.Minute {
+		t.Errorf("restart at %v", j.StartTime)
+	}
+	if j.EndTime != 35*sim.Minute {
+		t.Errorf("end = %v, want 35m (full restart)", j.EndTime)
+	}
+}
+
+func TestNodeFailureSpareReallocation(t *testing.T) {
+	// Three nodes: the job spans two, the third is spare. One of the
+	// job's nodes dies; the fault-aware app requests replacements and
+	// the scheduler hands it the spare (§I fault-tolerance scenario).
+	h := newHarness(3, 8, fairness.None, nil)
+	j := &job.Job{Name: "ft", Cred: job.Credentials{User: "u"}, Class: job.Evolving, Cores: 16, Walltime: sim.Hour}
+	app := &spareSeeker{FixedApp: FixedApp{Runtime: 30 * sim.Minute}}
+	h.srv.Submit(j, app)
+	h.eng.At(5*sim.Minute, "fail", func(sim.Time) {
+		h.srv.FailNode(h.cl.AllocOf(j.ID)[0].NodeID)
+	})
+	h.srv.Run(0)
+	if j.State != job.Completed {
+		t.Fatalf("state = %v, want completed", j.State)
+	}
+	if !app.replaced {
+		t.Fatal("spare node was never granted")
+	}
+	if app.requested != 8 {
+		t.Errorf("lost cores = %d, want 8", app.requested)
+	}
+	if j.TotalCores() != 16 {
+		t.Errorf("final cores = %d, want 16 (8 surviving + 8 spare)", j.TotalCores())
+	}
+	if err := h.cl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeFailureUnaffectedJobsSurvive(t *testing.T) {
+	h := newHarness(2, 8, fairness.None, nil)
+	a := &job.Job{Name: "a", Cred: job.Credentials{User: "u"}, Cores: 8, Walltime: sim.Hour}
+	b := &job.Job{Name: "b", Cred: job.Credentials{User: "v"}, Cores: 8, Walltime: sim.Hour}
+	h.srv.Submit(a, &FixedApp{Runtime: 20 * sim.Minute})
+	h.srv.Submit(b, &FixedApp{Runtime: 20 * sim.Minute})
+	h.eng.At(5*sim.Minute, "fail", func(sim.Time) {
+		h.srv.FailNode(h.cl.AllocOf(a.ID)[0].NodeID)
+	})
+	h.srv.Run(0)
+	if a.State != job.Cancelled {
+		t.Error("a should be cancelled")
+	}
+	if b.State != job.Completed || b.EndTime != 20*sim.Minute {
+		t.Errorf("b should finish untouched: %v at %v", b.State, b.EndTime)
+	}
+}
+
+func TestRepairNodeRestoresCapacity(t *testing.T) {
+	h := newHarness(2, 8, fairness.None, nil)
+	h.eng.At(0, "fail", func(sim.Time) { h.srv.FailNode(1) })
+	// A 16-core job cannot run on the degraded cluster; repairing the
+	// node lets it start.
+	j := &job.Job{Name: "big", Cred: job.Credentials{User: "u"}, Cores: 16, Walltime: sim.Hour}
+	h.srv.SubmitAt(sim.Minute, j, &FixedApp{Runtime: 10 * sim.Minute})
+	h.eng.At(10*sim.Minute, "repair", func(sim.Time) { h.srv.RepairNode(1) })
+	h.srv.Run(0)
+	if j.State != job.Completed {
+		t.Fatalf("state = %v", j.State)
+	}
+	if j.StartTime != 10*sim.Minute {
+		t.Errorf("start = %v, want at repair time", j.StartTime)
+	}
+}
+
+func TestDrainNode(t *testing.T) {
+	h := newHarness(2, 8, fairness.None, nil)
+	running := &job.Job{Name: "r", Cred: job.Credentials{User: "u"}, Cores: 16, Walltime: sim.Hour}
+	h.srv.Submit(running, &FixedApp{Runtime: 10 * sim.Minute})
+	h.eng.At(sim.Minute, "drain", func(sim.Time) { h.srv.DrainNode(0) })
+	// A job needing the drained node's cores waits forever; a small
+	// one fits on the remaining node after the runner completes.
+	small := &job.Job{Name: "s", Cred: job.Credentials{User: "v"}, Cores: 8, Walltime: sim.Hour}
+	h.srv.SubmitAt(2*sim.Minute, small, &FixedApp{Runtime: sim.Minute})
+	h.srv.Run(0)
+	if running.State != job.Completed {
+		t.Error("running job survives a drain")
+	}
+	if small.State != job.Completed {
+		t.Fatalf("small job state = %v", small.State)
+	}
+	// It must have been placed on the non-drained node.
+	if h.cl.Node(0).Used() != 0 {
+		t.Error("drained node should be empty")
+	}
+	_ = cluster.Offline
+}

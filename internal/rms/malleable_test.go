@@ -1,0 +1,219 @@
+package rms
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fairness"
+	"repro/internal/job"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// newMalleableHarness builds a harness whose scheduler has malleable
+// support enabled.
+func newMalleableHarness(nodes, cores int) *harness {
+	h := newHarness(nodes, cores, fairness.None, nil)
+	// Rebuild the scheduler with Malleable enabled, preserving config.
+	opts := h.srv.Scheduler().Options()
+	opts.Malleable = true
+	sched := core.New(opts, 0)
+	h.srv = NewServer(h.eng, h.cl, sched, h.rec)
+	return h
+}
+
+func TestMalleableWorkAppBasic(t *testing.T) {
+	h := newMalleableHarness(2, 8)
+	j := &job.Job{
+		Name: "m", Cred: job.Credentials{User: "u"}, Class: job.Malleable,
+		Cores: 8, MinCores: 4, MaxCores: 8, Walltime: sim.Hour,
+	}
+	app := &MalleableWorkApp{Work: 8 * 600} // 600 s on 8 cores
+	h.srv.Submit(j, app)
+	h.srv.Run(0)
+	if j.State != job.Completed {
+		t.Fatalf("state = %v", j.State)
+	}
+	if j.EndTime != 600*sim.Second {
+		t.Errorf("end = %v, want 600s", j.EndTime)
+	}
+	_ = app
+}
+
+func TestMalleableGrowOnIdle(t *testing.T) {
+	// The job starts at MinCores on a busy cluster; when the blocker
+	// finishes, the scheduler grows it to MaxCores and it finishes
+	// early.
+	h := newMalleableHarness(2, 8)
+	blocker := &job.Job{Name: "blk", Cred: job.Credentials{User: "x"}, Cores: 8, Walltime: sim.Hour}
+	h.srv.Submit(blocker, &FixedApp{Runtime: 300 * sim.Second})
+	j := &job.Job{
+		Name: "m", Cred: job.Credentials{User: "u"}, Class: job.Malleable,
+		Cores: 8, MinCores: 8, MaxCores: 16, Walltime: sim.Hour,
+	}
+	h.srv.Submit(j, &MalleableWorkApp{Work: 8 * 1200}) // 1200 s at 8 cores
+	h.srv.Run(0)
+	// 300 s at 8 cores (2400 core-s done), then grown to 16:
+	// remaining 7200 core-s at 16 = 450 s → end at 750 s.
+	if j.EndTime != 750*sim.Second {
+		t.Errorf("end = %v, want 750s (grown at 300s)", j.EndTime)
+	}
+	if j.TotalCores() != 16 {
+		t.Errorf("final cores = %d, want 16", j.TotalCores())
+	}
+}
+
+func TestMalleableGrowRespectsReservations(t *testing.T) {
+	// A 24-core cluster: the malleable job (8, walltime 2 h), a rigid
+	// job r2 (8, ends at 600 s) and 8 idle cores. A 16-core waiter
+	// reserves [600 s, ...] using r2's cores *plus the idle ones* —
+	// so the malleable job must not grow into the idle cores before
+	// the waiter starts (growth would hold them until 2 h).
+	h := newMalleableHarness(3, 8)
+	tr := &trace.Log{}
+	h.srv.Trace = tr
+	m := &job.Job{
+		Name: "m", Cred: job.Credentials{User: "u"}, Class: job.Malleable,
+		Cores: 8, MinCores: 8, MaxCores: 16, Walltime: 2 * sim.Hour,
+	}
+	h.srv.Submit(m, &MalleableWorkApp{Work: 8 * 3000})
+	r2 := &job.Job{Name: "r2", Cred: job.Credentials{User: "x"}, Cores: 8, Walltime: 600 * sim.Second}
+	h.srv.Submit(r2, &FixedApp{Runtime: 600 * sim.Second})
+	waiter := &job.Job{Name: "w", Cred: job.Credentials{User: "v"}, Cores: 16, Walltime: 100 * sim.Second}
+	h.srv.Submit(waiter, &FixedApp{Runtime: 60 * sim.Second})
+	h.srv.Run(0)
+	// The waiter's reservation is honored exactly.
+	if waiter.StartTime != 600*sim.Second {
+		t.Fatalf("waiter start = %v, want undelayed 600s", waiter.StartTime)
+	}
+	// Any malleable growth happened only after the waiter started.
+	for _, e := range tr.Filter(trace.Grow) {
+		if e.At < 600*sim.Second {
+			t.Errorf("grow at %v would have delayed the reservation", e.At)
+		}
+	}
+}
+
+func TestMalleableShrinkServesDynRequest(t *testing.T) {
+	// Cluster full: an evolving job and a malleable job. The evolving
+	// job's tm_dynget is served by shrinking the malleable job
+	// (§II-B: "stealing resources from malleable jobs").
+	h := newMalleableHarness(2, 8)
+	m := &job.Job{
+		Name: "m", Cred: job.Credentials{User: "mal"}, Class: job.Malleable,
+		Cores: 8, MinCores: 4, MaxCores: 8, Walltime: 2 * sim.Hour,
+	}
+	mapp := &MalleableWorkApp{Work: 8 * 1000}
+	h.srv.Submit(m, mapp)
+	e := &job.Job{
+		Name: "e", Cred: job.Credentials{User: "evo"}, Class: job.Evolving,
+		Cores: 8, Walltime: 2 * sim.Hour,
+	}
+	eapp := &EvolvingApp{SET: 1000 * sim.Second, DET: 700 * sim.Second, ExtraCores: 4, AttemptFracs: []float64{0.16}}
+	h.srv.Submit(e, eapp)
+	h.srv.Run(0)
+	if !eapp.Granted() {
+		t.Fatal("the dynamic request should be served by shrinking the malleable job")
+	}
+	if e.EndTime != 700*sim.Second {
+		t.Errorf("evolving end = %v, want DET 700s", e.EndTime)
+	}
+	// The malleable job lost 4 cores at 160 s and got them back when
+	// the evolving job completed at 700 s (the grow pass):
+	// 160 s × 8 + 540 s × 4 = 3440 core-s done, 4560 left at 8 cores
+	// = 570 s → end at 1270 s.
+	if m.EndTime != 1270*sim.Second {
+		t.Errorf("malleable end = %v, want 1270s (shrunk at 160s, regrown at 700s)", m.EndTime)
+	}
+	if m.TotalCores() != 8 {
+		t.Errorf("malleable final cores = %d, want 8 after regrowth", m.TotalCores())
+	}
+	if err := h.cl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMalleableDisabledNoResize(t *testing.T) {
+	// Same shrink scenario but with malleable support off: the dynamic
+	// request is rejected and nothing resizes.
+	h := newHarness(2, 8, fairness.None, nil) // Malleable not enabled
+	m := &job.Job{
+		Name: "m", Cred: job.Credentials{User: "mal"}, Class: job.Malleable,
+		Cores: 8, MinCores: 4, MaxCores: 8, Walltime: 2 * sim.Hour,
+	}
+	h.srv.Submit(m, &MalleableWorkApp{Work: 8 * 1000})
+	e := &job.Job{
+		Name: "e", Cred: job.Credentials{User: "evo"}, Class: job.Evolving,
+		Cores: 8, Walltime: 2 * sim.Hour,
+	}
+	eapp := &EvolvingApp{SET: 1000 * sim.Second, DET: 700 * sim.Second, ExtraCores: 4, AttemptFracs: []float64{0.16}}
+	h.srv.Submit(e, eapp)
+	h.srv.Run(0)
+	if eapp.Granted() {
+		t.Fatal("without malleable support the request must be rejected")
+	}
+	if m.EndTime != 1000*sim.Second {
+		t.Errorf("malleable end = %v, want untouched 1000s", m.EndTime)
+	}
+}
+
+func TestShrinkGrowValidation(t *testing.T) {
+	h := newMalleableHarness(2, 8)
+	rigid := &job.Job{Name: "r", Cred: job.Credentials{User: "u"}, Cores: 4, Walltime: sim.Hour}
+	h.srv.Submit(rigid, &FixedApp{Runtime: 30 * sim.Minute})
+	m := &job.Job{
+		Name: "m", Cred: job.Credentials{User: "u"}, Class: job.Malleable,
+		Cores: 8, MinCores: 4, MaxCores: 12, Walltime: sim.Hour,
+	}
+	h.srv.Submit(m, &MalleableWorkApp{Work: 8 * 100})
+	h.eng.At(sim.Second, "validate", func(sim.Time) {
+		if err := h.srv.ShrinkJob(rigid, 2); err == nil {
+			t.Error("shrinking a rigid job must fail")
+		}
+		if _, err := h.srv.GrowJob(rigid, 2); err == nil {
+			t.Error("growing a rigid job must fail")
+		}
+		if err := h.srv.ShrinkJob(m, 10); err == nil {
+			t.Error("shrinking below MinCores must fail")
+		}
+		if _, err := h.srv.GrowJob(m, 10); err == nil {
+			t.Error("growing above MaxCores must fail")
+		}
+		if err := h.srv.ShrinkJob(m, 0); err == nil {
+			t.Error("zero shrink must fail")
+		}
+		if err := h.srv.ShrinkJob(m, 2); err != nil {
+			t.Errorf("legal shrink failed: %v", err)
+		}
+		if _, err := h.srv.GrowJob(m, 2); err != nil {
+			t.Errorf("legal grow failed: %v", err)
+		}
+	})
+	h.srv.Run(0)
+	if err := h.cl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobResizeBounds(t *testing.T) {
+	j := &job.Job{Class: job.Malleable, Cores: 8, MinCores: 4, MaxCores: 16}
+	if j.ShrinkableBy() != 4 || j.GrowableBy() != 8 {
+		t.Errorf("shrink=%d grow=%d", j.ShrinkableBy(), j.GrowableBy())
+	}
+	j.DynCores = 8 // at max
+	if j.GrowableBy() != 0 {
+		t.Error("at MaxCores growable should be 0")
+	}
+	if j.ShrinkableBy() != 12 {
+		t.Errorf("shrinkable = %d", j.ShrinkableBy())
+	}
+	// Defaults: no Min/Max = rigid-sized.
+	d := &job.Job{Class: job.Malleable, Cores: 8}
+	if d.ShrinkableBy() != 0 || d.GrowableBy() != 0 {
+		t.Error("default bounds should pin the size")
+	}
+	r := &job.Job{Class: job.Rigid, Cores: 8, MinCores: 1, MaxCores: 99}
+	if r.ShrinkableBy() != 0 || r.GrowableBy() != 0 {
+		t.Error("non-malleable jobs never resize")
+	}
+}

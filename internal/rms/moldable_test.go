@@ -1,0 +1,121 @@
+package rms
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fairness"
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+func newMoldableHarness(nodes, cores int) *harness {
+	h := newHarness(nodes, cores, fairness.None, nil)
+	opts := h.srv.Scheduler().Options()
+	opts.Moldable = true
+	h.srv = NewServer(h.eng, h.cl, core.New(opts, 0), h.rec)
+	return h
+}
+
+func TestMoldableShrinksToStartNow(t *testing.T) {
+	// 16 cores total, 8 busy for an hour. A moldable job asking for 16
+	// (min 4) is molded down to the 8 free cores and starts at once.
+	h := newMoldableHarness(2, 8)
+	blocker := &job.Job{Name: "blk", Cred: job.Credentials{User: "x"}, Cores: 8, Walltime: sim.Hour}
+	h.srv.Submit(blocker, &FixedApp{Runtime: sim.Hour})
+	m := &job.Job{
+		Name: "mold", Cred: job.Credentials{User: "u"}, Class: job.Moldable,
+		Cores: 16, MinCores: 4, MaxCores: 16, Walltime: 3 * sim.Hour,
+	}
+	h.srv.Submit(m, &MalleableWorkApp{Work: 8 * 600})
+	h.srv.Run(0)
+	if m.StartTime != 0 {
+		t.Fatalf("moldable start = %v, want immediate", m.StartTime)
+	}
+	if m.Cores != 8 {
+		t.Errorf("molded size = %d, want 8", m.Cores)
+	}
+	// 4800 core-seconds on 8 cores = 600 s.
+	if m.EndTime != 600*sim.Second {
+		t.Errorf("end = %v", m.EndTime)
+	}
+}
+
+func TestMoldableGrowsIntoAbundance(t *testing.T) {
+	// Empty 32-core cluster: a moldable 8-core job (max 32) is molded
+	// up to the whole machine.
+	h := newMoldableHarness(4, 8)
+	m := &job.Job{
+		Name: "mold", Cred: job.Credentials{User: "u"}, Class: job.Moldable,
+		Cores: 8, MinCores: 4, MaxCores: 32, Walltime: 3 * sim.Hour,
+	}
+	h.srv.Submit(m, &MalleableWorkApp{Work: 8 * 1200})
+	h.srv.Run(0)
+	if m.Cores != 32 {
+		t.Fatalf("molded size = %d, want 32", m.Cores)
+	}
+	// 9600 core-s at 32 cores = 300 s.
+	if m.EndTime != 300*sim.Second {
+		t.Errorf("end = %v", m.EndTime)
+	}
+}
+
+func TestMoldableWaitsBelowMin(t *testing.T) {
+	// Only 2 cores free but MinCores is 4: the job must wait, not mold
+	// below its minimum.
+	h := newMoldableHarness(1, 8)
+	blocker := &job.Job{Name: "blk", Cred: job.Credentials{User: "x"}, Cores: 6, Walltime: 10 * sim.Minute}
+	h.srv.Submit(blocker, &FixedApp{Runtime: 10 * sim.Minute})
+	m := &job.Job{
+		Name: "mold", Cred: job.Credentials{User: "u"}, Class: job.Moldable,
+		Cores: 8, MinCores: 4, MaxCores: 8, Walltime: sim.Hour,
+	}
+	h.srv.Submit(m, &MalleableWorkApp{Work: 8 * 60})
+	h.srv.Run(0)
+	if m.StartTime != 10*sim.Minute {
+		t.Errorf("start = %v, want after the blocker", m.StartTime)
+	}
+	if m.Cores != 8 {
+		t.Errorf("size = %d, want the full 8 once free", m.Cores)
+	}
+}
+
+func TestMoldableDisabledStaysRigid(t *testing.T) {
+	h := newHarness(2, 8, fairness.None, nil) // Moldable off
+	blocker := &job.Job{Name: "blk", Cred: job.Credentials{User: "x"}, Cores: 8, Walltime: 10 * sim.Minute}
+	h.srv.Submit(blocker, &FixedApp{Runtime: 10 * sim.Minute})
+	m := &job.Job{
+		Name: "mold", Cred: job.Credentials{User: "u"}, Class: job.Moldable,
+		Cores: 16, MinCores: 4, MaxCores: 16, Walltime: sim.Hour,
+	}
+	h.srv.Submit(m, &MalleableWorkApp{Work: 16 * 60})
+	h.srv.Run(0)
+	if m.StartTime != 10*sim.Minute || m.Cores != 16 {
+		t.Errorf("disabled molding changed behaviour: start=%v cores=%d", m.StartTime, m.Cores)
+	}
+}
+
+func TestMoldableNeverDisturbsReservation(t *testing.T) {
+	// A reserved big job's window must constrain mold-up: the moldable
+	// job may only take cores whose hold window stays clear.
+	h := newMoldableHarness(2, 8)
+	blocker := &job.Job{Name: "blk", Cred: job.Credentials{User: "x"}, Cores: 8, Walltime: 10 * sim.Minute}
+	h.srv.Submit(blocker, &FixedApp{Runtime: 10 * sim.Minute})
+	// The big rigid job reserves all 16 cores at the blocker's end.
+	big := &job.Job{Name: "big", Cred: job.Credentials{User: "v"}, Cores: 16, Walltime: 20 * sim.Minute}
+	h.srv.Submit(big, &FixedApp{Runtime: 20 * sim.Minute})
+	// The moldable job (walltime 1 h) cannot take ANY core without
+	// overlapping the reservation window.
+	m := &job.Job{
+		Name: "mold", Cred: job.Credentials{User: "u"}, Class: job.Moldable,
+		Cores: 8, MinCores: 1, MaxCores: 8, Walltime: sim.Hour,
+	}
+	h.srv.Submit(m, &MalleableWorkApp{Work: 8 * 60})
+	h.srv.Run(0)
+	if big.StartTime != 10*sim.Minute {
+		t.Fatalf("big start = %v, want the undisturbed 10m reservation", big.StartTime)
+	}
+	if m.StartTime < 30*sim.Minute {
+		t.Errorf("moldable start = %v, must wait out the reservation", m.StartTime)
+	}
+}

@@ -1,0 +1,302 @@
+package serverd
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// serverRM adapts the live server to core.ResourceManager. All methods
+// are invoked with s.mu held (from schedLoop or applyCommit).
+type serverRM Server
+
+func (r *serverRM) s() *Server { return (*Server)(r) }
+
+// Cluster returns the live cluster mirror.
+func (r *serverRM) Cluster() *cluster.Cluster { return r.cl }
+
+// QueuedJobs returns the queued jobs in submission order.
+func (r *serverRM) QueuedJobs() []*job.Job {
+	return append([]*job.Job(nil), r.queued...)
+}
+
+// ActiveJobs returns running/dynqueued jobs in ID order.
+func (r *serverRM) ActiveJobs() []*job.Job {
+	out := make([]*job.Job, 0, len(r.active))
+	for _, j := range r.active {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// DynRequests returns the pending dynamic requests in FIFO order.
+func (r *serverRM) DynRequests() []*job.DynRequest {
+	return append([]*job.DynRequest(nil), r.dyn...)
+}
+
+// hostsOf renders an allocation as host slices with mom addresses.
+func (r *serverRM) hostsOf(alloc cluster.Alloc) []proto.HostSlice {
+	out := make([]proto.HostSlice, 0, len(alloc))
+	for _, sl := range alloc {
+		ni := r.nodeByID[sl.NodeID]
+		if ni == nil {
+			continue
+		}
+		out = append(out, proto.HostSlice{Node: ni.node.Name, Addr: ni.addr, Cores: sl.Cores})
+	}
+	return out
+}
+
+// StartJob allocates resources and dispatches the job to its mother
+// superior (the first allocated host).
+func (r *serverRM) StartJob(j *job.Job) (cluster.Alloc, error) {
+	s := r.s()
+	ji, ok := s.jobs[int(j.ID)]
+	if !ok || j.State != job.Queued {
+		return nil, fmt.Errorf("serverd: %s not queued", j.ID)
+	}
+	var alloc cluster.Alloc
+	if ji.spec.Nodes > 0 {
+		alloc = s.cl.AllocateNodes(j.ID, ji.spec.Nodes, ji.spec.PPN)
+	} else {
+		alloc = s.cl.Allocate(j.ID, j.Cores)
+	}
+	if alloc == nil {
+		return nil, fmt.Errorf("serverd: cannot place %s", j.ID)
+	}
+	hosts := r.hostsOf(alloc)
+	if len(hosts) == 0 {
+		s.cl.Release(j.ID)
+		return nil, fmt.Errorf("serverd: no registered mom for allocation")
+	}
+	ms := s.nodes[hosts[0].Node]
+	if ms == nil || ms.conn == nil {
+		s.cl.Release(j.ID)
+		return nil, fmt.Errorf("serverd: mother superior %s unreachable", hosts[0].Node)
+	}
+	for i, q := range s.queued {
+		if q.ID == j.ID {
+			s.queued = append(s.queued[:i], s.queued[i+1:]...)
+			break
+		}
+	}
+	j.State = job.Running
+	j.StartTime = s.now()
+	s.active[int(j.ID)] = j
+	ji.hosts = hosts
+	ji.msNode = hosts[0].Node
+	s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
+	s.bump()
+	// Walltime enforcement.
+	wall := sim.ToReal(j.Walltime)
+	id := int(j.ID)
+	ji.killTimer = time.AfterFunc(wall, func() {
+		s.mu.Lock()
+		if info, ok := s.jobs[id]; ok && info.j.Active() {
+			s.killLocked(info, "walltime")
+		}
+		s.mu.Unlock()
+		s.Kick()
+	})
+	if err := ms.conn.Send(proto.TRunJob, proto.RunJobReq{JobID: id, Spec: ji.spec, Hosts: hosts}); err != nil {
+		// Mom link failed mid-dispatch: roll back.
+		ji.killTimer.Stop()
+		s.cl.Release(j.ID)
+		delete(s.active, id)
+		j.State = job.Queued
+		s.queued = append(s.queued, j)
+		return nil, fmt.Errorf("serverd: dispatch to %s: %w", hosts[0].Node, err)
+	}
+	s.logf("job %d started on %s (ms=%s)", id, cluster.Alloc(alloc).String(), ji.msNode)
+	return alloc, nil
+}
+
+// GrantDyn expands the job and answers the parked tm_dynget through
+// the mother superior (Fig. 3 steps 5–7).
+func (r *serverRM) GrantDyn(req *job.DynRequest) (cluster.Alloc, error) {
+	s := r.s()
+	ji, ok := s.jobs[int(req.Job.ID)]
+	if !ok {
+		return nil, fmt.Errorf("serverd: unknown job %s", req.Job.ID)
+	}
+	var alloc cluster.Alloc
+	if req.Nodes > 0 {
+		alloc = s.cl.AllocateNodes(req.Job.ID, req.Nodes, req.PPN)
+	} else {
+		alloc = s.cl.Allocate(req.Job.ID, req.Cores)
+	}
+	if alloc == nil {
+		return nil, fmt.Errorf("serverd: cannot place dynamic request for %s", req.Job.ID)
+	}
+	hosts := r.hostsOf(alloc)
+	req.Job.DynCores += req.TotalCores()
+	req.Job.State = job.Running
+	if !ji.granted {
+		ji.granted = true
+		ji.dynGrant = s.now()
+	}
+	ji.hosts = append(ji.hosts, hosts...)
+	s.dropDynLocked(int(req.Job.ID))
+	s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
+	s.bump()
+	if ms := s.nodes[ji.msNode]; ms != nil && ms.conn != nil {
+		_ = ms.conn.Send(proto.TDynGetResp, proto.DynGetResp{
+			JobID: int(req.Job.ID), Granted: true, Hosts: hosts,
+		})
+	}
+	s.logf("dyn grant job=%d +%d cores", req.Job.ID, req.TotalCores())
+	return alloc, nil
+}
+
+// RejectDyn answers the parked tm_dynget negatively.
+func (r *serverRM) RejectDyn(req *job.DynRequest, reason string) {
+	s := r.s()
+	req.Job.State = job.Running
+	s.dropDynLocked(int(req.Job.ID))
+	s.bump()
+	ji := s.jobs[int(req.Job.ID)]
+	if ji != nil {
+		if ms := s.nodes[ji.msNode]; ms != nil && ms.conn != nil {
+			_ = ms.conn.Send(proto.TDynGetResp, proto.DynGetResp{
+				JobID: int(req.Job.ID), Granted: false, Reason: reason,
+			})
+		}
+	}
+	s.logf("dyn reject job=%d: %s", req.Job.ID, reason)
+}
+
+// Preempt kills a running job on its mom and requeues it.
+func (r *serverRM) Preempt(j *job.Job) error {
+	s := r.s()
+	ji, ok := s.jobs[int(j.ID)]
+	if !ok || !j.Active() {
+		return fmt.Errorf("serverd: %s not active", j.ID)
+	}
+	s.dropDynLocked(int(j.ID))
+	s.cl.Release(j.ID)
+	delete(s.active, int(j.ID))
+	if ji.killTimer != nil {
+		ji.killTimer.Stop()
+	}
+	if ms := s.nodes[ji.msNode]; ms != nil && ms.conn != nil {
+		_ = ms.conn.Send(proto.TKillJob, proto.KillJobReq{JobID: int(j.ID)})
+	}
+	j.State = job.Queued
+	j.StartTime = 0
+	j.DynCores = 0
+	j.Backfilled = false
+	ji.hosts = nil
+	ji.msNode = ""
+	s.queued = append(s.queued, j)
+	s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
+	s.bump()
+	s.logf("job %d preempted and requeued", j.ID)
+	return nil
+}
+
+// --- external scheduler protocol ---
+
+// snapshot renders the scheduler state for a sched.pull.
+func (s *Server) snapshot() proto.SchedState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := proto.SchedState{NowMS: int64(s.now()), Serial: s.serial}
+	for _, n := range s.cl.Nodes() {
+		st.Nodes = append(st.Nodes, proto.NodeStatus{
+			Name: n.Name, Cores: n.Cores, Used: n.Used(), State: n.State.String(),
+		})
+	}
+	conv := func(j *job.Job) proto.SchedJob {
+		return proto.SchedJob{
+			ID: int(j.ID), Name: j.Name, User: j.Cred.User, Group: j.Cred.Group,
+			State: j.State.String(), Cores: j.Cores, DynCores: j.DynCores,
+			WallSecs: int64(j.Walltime / sim.Second),
+			SubmitMS: int64(j.SubmitTime), StartMS: int64(j.StartTime),
+			SysPrio: j.SystemPriority, Evolving: j.Class == job.Evolving,
+			Backfilled: j.Backfilled,
+		}
+	}
+	for _, j := range s.queued {
+		st.Queued = append(st.Queued, conv(j))
+	}
+	for _, j := range (*serverRM)(s).ActiveJobs() {
+		st.Active = append(st.Active, conv(j))
+	}
+	for _, r := range s.dyn {
+		st.Dyn = append(st.Dyn, proto.SchedDynReq{
+			JobID: int(r.Job.ID), Cores: r.Cores, Nodes: r.Nodes, PPN: r.PPN, Seq: r.Seq,
+			DeadlineMS: int64(r.Deadline),
+		})
+	}
+	return st
+}
+
+// applyCommit validates and applies an external scheduler's decisions.
+// Each action re-validates against current state, so a commit computed
+// on a stale snapshot degrades gracefully (stale actions are skipped
+// and will be re-planned on the next pull).
+func (s *Server) applyCommit(c proto.SchedCommit) proto.SchedCommitResp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rm := (*serverRM)(s)
+	var resp proto.SchedCommitResp
+	for _, a := range c.Actions {
+		ji, ok := s.jobs[a.JobID]
+		if !ok {
+			resp.Skipped++
+			continue
+		}
+		switch a.Kind {
+		case "start":
+			if ji.j.State != job.Queued {
+				resp.Skipped++
+				continue
+			}
+			if _, err := rm.StartJob(ji.j); err != nil {
+				resp.Skipped++
+				continue
+			}
+			resp.Applied++
+		case "grant":
+			req := s.findDynLocked(a.JobID)
+			if req == nil {
+				resp.Skipped++
+				continue
+			}
+			if _, err := rm.GrantDyn(req); err != nil {
+				// Placement failed after a stale plan: reject so the
+				// application is not left blocked.
+				rm.RejectDyn(req, "resources changed; retry")
+				resp.Skipped++
+				continue
+			}
+			resp.Applied++
+		case "reject":
+			req := s.findDynLocked(a.JobID)
+			if req == nil {
+				resp.Skipped++
+				continue
+			}
+			rm.RejectDyn(req, a.Reason)
+			resp.Applied++
+		default:
+			resp.Skipped++
+		}
+	}
+	return resp
+}
+
+func (s *Server) findDynLocked(jobID int) *job.DynRequest {
+	for _, r := range s.dyn {
+		if int(r.Job.ID) == jobID {
+			return r
+		}
+	}
+	return nil
+}

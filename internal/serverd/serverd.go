@@ -1,0 +1,588 @@
+// Package serverd implements the live batch server daemon (the
+// pbs_server analog): it accepts mom registrations, client commands
+// (qsub/qstat/qdel) and forwarded dynamic requests over TCP, tracks
+// the cluster and job state, and drives the scheduler — either the
+// embedded one (default) or an external Maui-analog daemon speaking
+// the sched.pull/sched.commit protocol (see internal/mauid).
+//
+// The scheduler code is exactly internal/core — the same code the
+// simulator runs; only this ResourceManager implementation differs:
+// StartJob sends RunJob to the job's mother superior, GrantDyn answers
+// the forwarded tm_dynget with the new hostlist.
+package serverd
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Options configures a server daemon.
+type Options struct {
+	// Sched is the scheduler to embed. Nil disables the embedded
+	// scheduler (external-scheduler mode: a mauid daemon must drive
+	// scheduling via the sched protocol).
+	Sched *core.Scheduler
+	// PollInterval bounds the embedded scheduler's idle period.
+	PollInterval time.Duration
+	// Verbose enables stderr logging.
+	Verbose bool
+}
+
+// jobInfo is the server-side record of one job.
+type jobInfo struct {
+	j         *job.Job
+	spec      proto.JobSpec
+	hosts     []proto.HostSlice
+	msNode    string // mother superior node name
+	killTimer *time.Timer
+	dynGrant  sim.Time
+	granted   bool
+}
+
+// nodeInfo mirrors one registered mom.
+type nodeInfo struct {
+	node *cluster.Node
+	addr string
+	conn *proto.Conn
+}
+
+// Server is the live daemon.
+type Server struct {
+	opts Options
+
+	ln    net.Listener
+	start time.Time
+
+	mu       sync.Mutex
+	cl       *cluster.Cluster
+	nodes    map[string]*nodeInfo // by node name
+	nodeByID map[int]*nodeInfo
+	jobs     map[int]*jobInfo
+	queued   []*job.Job
+	active   map[int]*job.Job
+	dyn      []*job.DynRequest
+	dynSeq   int
+	nextID   int
+	serial   uint64
+	rec      *metrics.Recorder
+
+	kick   chan struct{}
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New creates a server daemon.
+func New(opts Options) *Server {
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 2 * time.Second
+	}
+	return &Server{
+		opts:     opts,
+		cl:       cluster.New(0, 0),
+		nodes:    make(map[string]*nodeInfo),
+		nodeByID: make(map[int]*nodeInfo),
+		jobs:     make(map[int]*jobInfo),
+		active:   make(map[int]*job.Job),
+		nextID:   1,
+		rec:      metrics.NewRecorder(0),
+		kick:     make(chan struct{}, 1),
+		closed:   make(chan struct{}),
+	}
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port).
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.start = time.Now()
+	s.wg.Add(1)
+	go s.acceptLoop()
+	if s.opts.Sched != nil {
+		s.wg.Add(1)
+		go s.schedLoop()
+	}
+	return nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the daemon down.
+func (s *Server) Close() {
+	select {
+	case <-s.closed:
+		return
+	default:
+		close(s.closed)
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for _, n := range s.nodes {
+		if n.conn != nil {
+			n.conn.Close()
+		}
+	}
+	for _, ji := range s.jobs {
+		if ji.killTimer != nil {
+			ji.killTimer.Stop()
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// now returns the virtual-time view of the wall clock: milliseconds
+// since server start, which is what the shared scheduler core plans in.
+func (s *Server) now() sim.Time { return sim.FromReal(time.Since(s.start)) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Verbose {
+		fmt.Fprintf(os.Stderr, "serverd "+format+"\n", args...)
+	}
+}
+
+// Kick requests a scheduling cycle (state changed).
+func (s *Server) Kick() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Server) bump() { s.serial++ }
+
+// acceptLoop classifies inbound connections by their first message.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(proto.NewConn(c))
+		}()
+	}
+}
+
+func (s *Server) handleConn(c *proto.Conn) {
+	env, err := c.Recv()
+	if err != nil {
+		c.Close()
+		return
+	}
+	switch env.Type {
+	case proto.TRegister:
+		var req proto.RegisterReq
+		if err := env.Decode(&req); err != nil {
+			c.Close()
+			return
+		}
+		s.registerMom(c, req) // takes ownership, runs the mom read loop
+	case proto.TQSub:
+		var spec proto.JobSpec
+		if err := env.Decode(&spec); err != nil {
+			_ = c.Send(proto.TQSubResp, proto.QSubResp{Error: err.Error()})
+		} else {
+			id, err := s.QSub(spec)
+			resp := proto.QSubResp{JobID: id}
+			if err != nil {
+				resp.Error = err.Error()
+			}
+			_ = c.Send(proto.TQSubResp, resp)
+		}
+		c.Close()
+	case proto.TQStat:
+		_ = c.Send(proto.TQStatResp, s.QStat())
+		c.Close()
+	case proto.TQDel:
+		var req proto.QDelReq
+		if err := env.Decode(&req); err == nil {
+			s.QDel(req.JobID)
+		}
+		_ = c.Send(proto.TOK, nil)
+		c.Close()
+	case proto.TSchedPull:
+		_ = c.Send(proto.TSchedState, s.snapshot())
+		c.Close()
+	case proto.TSchedCommit:
+		var commit proto.SchedCommit
+		resp := proto.SchedCommitResp{}
+		if err := env.Decode(&commit); err == nil {
+			resp = s.applyCommit(commit)
+		}
+		_ = c.Send(proto.TOK, resp)
+		c.Close()
+	default:
+		_ = c.Send(proto.TError, proto.ErrorResp{Error: fmt.Sprintf("unexpected %s", env.Type)})
+		c.Close()
+	}
+}
+
+// registerMom adds the node and serves the mom's persistent link.
+func (s *Server) registerMom(c *proto.Conn, req proto.RegisterReq) {
+	s.mu.Lock()
+	if old, dup := s.nodes[req.Node]; dup {
+		// Re-registration (mom restart): reuse the node record.
+		old.addr = req.Addr
+		old.conn = c
+		s.mu.Unlock()
+		s.logf("mom %s re-registered at %s", req.Node, req.Addr)
+	} else {
+		n := s.cl.AddNode(req.Node, req.Cores)
+		ni := &nodeInfo{node: n, addr: req.Addr, conn: c}
+		s.nodes[req.Node] = ni
+		s.nodeByID[n.ID] = ni
+		s.rec = metrics.NewRecorder(s.cl.TotalCores())
+		s.bump()
+		s.mu.Unlock()
+		s.logf("mom %s registered: %d cores at %s", req.Node, req.Cores, req.Addr)
+	}
+	s.Kick()
+	for {
+		env, err := c.Recv()
+		if err != nil {
+			return
+		}
+		switch env.Type {
+		case proto.TJobDone:
+			var done proto.JobDoneReq
+			if err := env.Decode(&done); err == nil {
+				s.jobDone(done)
+			}
+		case proto.TDynGet:
+			var dg proto.DynGetReq
+			if err := env.Decode(&dg); err == nil {
+				s.dynGet(dg)
+			}
+		case proto.TDynFree:
+			var df proto.DynFreeReq
+			if err := env.Decode(&df); err == nil {
+				s.dynFree(df)
+			}
+		}
+	}
+}
+
+// QSub enqueues a job and returns its id.
+func (s *Server) QSub(spec proto.JobSpec) (int, error) {
+	cores := spec.Cores
+	if spec.Nodes > 0 {
+		cores = spec.Nodes * spec.PPN
+	}
+	if cores <= 0 {
+		return 0, fmt.Errorf("serverd: job requests no resources")
+	}
+	if spec.WallSecs <= 0 {
+		return 0, fmt.Errorf("serverd: job needs a walltime")
+	}
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	class := job.Rigid
+	if spec.Evolving {
+		class = job.Evolving
+	}
+	j := &job.Job{
+		ID:   job.ID(id),
+		Name: spec.Name,
+		Cred: job.Credentials{
+			User: spec.User, Group: spec.Group, Account: spec.Account,
+		},
+		Class:          class,
+		Cores:          cores,
+		Walltime:       sim.Duration(spec.WallSecs) * sim.Second,
+		SubmitTime:     s.now(),
+		State:          job.Queued,
+		SystemPriority: spec.SystemPriority,
+	}
+	s.jobs[id] = &jobInfo{j: j, spec: spec}
+	s.queued = append(s.queued, j)
+	s.rec.ObserveSubmit(j.SubmitTime)
+	s.bump()
+	s.mu.Unlock()
+	s.logf("qsub job=%d user=%s cores=%d wall=%ds", id, spec.User, cores, spec.WallSecs)
+	s.Kick()
+	return id, nil
+}
+
+// QStat reports queue and node state.
+func (s *Server) QStat() proto.QStatResp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	var resp proto.QStatResp
+	for id := 1; id < s.nextID; id++ {
+		ji, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		j := ji.j
+		wait := float64(0)
+		if j.StartTime > 0 || j.State != job.Queued {
+			wait = sim.SecondsOf(j.StartTime - j.SubmitTime)
+		} else {
+			wait = sim.SecondsOf(now - j.SubmitTime)
+		}
+		resp.Jobs = append(resp.Jobs, proto.JobStatus{
+			ID: id, Name: j.Name, User: j.Cred.User, State: j.State.String(),
+			Cores: j.Cores, DynCores: j.DynCores, WaitSecs: wait, Hosts: ji.hosts,
+		})
+	}
+	for _, n := range s.cl.Nodes() {
+		resp.Nodes = append(resp.Nodes, proto.NodeStatus{
+			Name: n.Name, Cores: n.Cores, Used: n.Used(), State: n.State.String(),
+		})
+	}
+	return resp
+}
+
+// QDel cancels a job.
+func (s *Server) QDel(id int) {
+	s.mu.Lock()
+	ji, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	s.killLocked(ji, "qdel")
+	s.mu.Unlock()
+	s.Kick()
+}
+
+// killLocked terminates a job in any state. Caller holds s.mu.
+func (s *Server) killLocked(ji *jobInfo, why string) {
+	j := ji.j
+	switch {
+	case j.State == job.Queued:
+		for i, q := range s.queued {
+			if q.ID == j.ID {
+				s.queued = append(s.queued[:i], s.queued[i+1:]...)
+				break
+			}
+		}
+	case j.Active():
+		s.dropDynLocked(int(j.ID))
+		s.cl.Release(j.ID)
+		delete(s.active, int(j.ID))
+		if ms, ok := s.nodes[ji.msNode]; ok && ms.conn != nil {
+			_ = ms.conn.Send(proto.TKillJob, proto.KillJobReq{JobID: int(j.ID)})
+		}
+		s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
+	default:
+		return
+	}
+	if ji.killTimer != nil {
+		ji.killTimer.Stop()
+	}
+	j.State = job.Cancelled
+	j.EndTime = s.now()
+	s.bump()
+	s.logf("job %d killed (%s)", j.ID, why)
+}
+
+func (s *Server) dropDynLocked(id int) {
+	for i, r := range s.dyn {
+		if int(r.Job.ID) == id {
+			s.dyn = append(s.dyn[:i], s.dyn[i+1:]...)
+			return
+		}
+	}
+}
+
+// jobDone handles a completion report from a mother superior.
+func (s *Server) jobDone(done proto.JobDoneReq) {
+	s.mu.Lock()
+	ji, ok := s.jobs[done.JobID]
+	if !ok || !ji.j.Active() {
+		s.mu.Unlock()
+		return
+	}
+	j := ji.j
+	s.dropDynLocked(done.JobID)
+	s.cl.Release(j.ID)
+	delete(s.active, done.JobID)
+	if ji.killTimer != nil {
+		ji.killTimer.Stop()
+	}
+	j.State = job.Completed
+	j.EndTime = s.now()
+	s.rec.AddJob(metrics.JobRecord{
+		ID: j.ID, Type: j.Name, User: j.Cred.User, Cores: j.TotalCores(),
+		Submit: j.SubmitTime, Start: j.StartTime, End: j.EndTime,
+		Backfilled: j.Backfilled, Evolving: j.Class == job.Evolving,
+		DynGranted: ji.granted, GrantTime: ji.dynGrant,
+	})
+	s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
+	if s.opts.Sched != nil {
+		s.opts.Sched.Fairshare().Record(j.Cred.User,
+			float64(j.TotalCores())*sim.SecondsOf(j.EndTime-j.StartTime))
+	}
+	s.bump()
+	s.mu.Unlock()
+	s.logf("job %d done", done.JobID)
+	s.Kick()
+}
+
+// dynGet queues a forwarded tm_dynget: the job enters DynQueued and a
+// scheduling cycle is triggered (Fig. 3 step 3-4).
+func (s *Server) dynGet(req proto.DynGetReq) {
+	s.mu.Lock()
+	ji, ok := s.jobs[req.JobID]
+	if !ok || ji.j.State != job.Running {
+		s.mu.Unlock()
+		s.answerDyn(req.JobID, proto.DynGetResp{JobID: req.JobID, Granted: false, Reason: "job not running"})
+		return
+	}
+	for _, p := range s.dyn {
+		if int(p.Job.ID) == req.JobID {
+			s.mu.Unlock()
+			s.answerDyn(req.JobID, proto.DynGetResp{JobID: req.JobID, Granted: false, Reason: "request already pending"})
+			return
+		}
+	}
+	r := &job.DynRequest{
+		Job: ji.j, Cores: req.Cores, Nodes: req.Nodes, PPN: req.PPN,
+		IssuedAt: s.now(), Seq: s.dynSeq,
+	}
+	if req.TimeoutSecs > 0 {
+		r.Deadline = s.now() + sim.Duration(req.TimeoutSecs)*sim.Second
+	}
+	s.dynSeq++
+	ji.j.State = job.DynQueued
+	s.dyn = append(s.dyn, r)
+	s.bump()
+	s.mu.Unlock()
+	s.logf("dynget queued job=%d timeout=%ds", req.JobID, req.TimeoutSecs)
+	if req.TimeoutSecs > 0 {
+		// Negotiation deadline: if the request is still pending when
+		// it expires, deliver the final rejection ourselves.
+		time.AfterFunc(time.Duration(req.TimeoutSecs)*time.Second, func() {
+			s.mu.Lock()
+			pending := s.findDynLocked(req.JobID) == r
+			if pending {
+				(*serverRM)(s).RejectDyn(r, "negotiation deadline expired")
+			}
+			s.mu.Unlock()
+		})
+	}
+	s.Kick()
+}
+
+// answerDyn ships the verdict to the job's mother superior.
+func (s *Server) answerDyn(jobID int, resp proto.DynGetResp) {
+	s.mu.Lock()
+	ji, ok := s.jobs[jobID]
+	var conn *proto.Conn
+	if ok {
+		if ni, ok2 := s.nodes[ji.msNode]; ok2 {
+			conn = ni.conn
+		}
+	}
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Send(proto.TDynGetResp, resp)
+	}
+}
+
+// dynFree releases part of an allocation (Fig. 4 step 3-4).
+func (s *Server) dynFree(req proto.DynFreeReq) {
+	s.mu.Lock()
+	ji, ok := s.jobs[req.JobID]
+	if !ok || !ji.j.Active() {
+		s.mu.Unlock()
+		return
+	}
+	var part cluster.Alloc
+	for _, h := range req.Hosts {
+		if ni, ok := s.nodes[h.Node]; ok {
+			part = append(part, cluster.Slice{NodeID: ni.node.ID, Cores: h.Cores})
+		}
+	}
+	if err := s.cl.ReleasePartial(ji.j.ID, part); err != nil {
+		s.mu.Unlock()
+		s.logf("dynfree job=%d rejected: %v", req.JobID, err)
+		return
+	}
+	released := part.TotalCores()
+	if released > ji.j.DynCores {
+		ji.j.Cores -= released - ji.j.DynCores
+		ji.j.DynCores = 0
+	} else {
+		ji.j.DynCores -= released
+	}
+	ji.hosts = subtractHostSlices(ji.hosts, req.Hosts)
+	s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
+	s.bump()
+	s.mu.Unlock()
+	s.logf("dynfree job=%d released %d cores", req.JobID, released)
+	s.Kick()
+}
+
+func subtractHostSlices(have, remove []proto.HostSlice) []proto.HostSlice {
+	removed := make(map[string]int)
+	for _, r := range remove {
+		removed[r.Node] += r.Cores
+	}
+	out := have[:0:0]
+	for _, h := range have {
+		if take := removed[h.Node]; take > 0 {
+			if take >= h.Cores {
+				removed[h.Node] -= h.Cores
+				continue
+			}
+			h.Cores -= take
+			removed[h.Node] = 0
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// schedLoop runs the embedded scheduler: iterate on every kick, with
+// the poll interval as an idle backstop (Maui's timer-driven wakeup).
+func (s *Server) schedLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-s.kick:
+		case <-t.C:
+		}
+		s.mu.Lock()
+		s.opts.Sched.Iterate(s.now(), (*serverRM)(s))
+		s.mu.Unlock()
+	}
+}
+
+// Recorder exposes live metrics (waiting times, utilization).
+func (s *Server) Recorder() *metrics.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
+}

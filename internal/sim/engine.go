@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to fire at a virtual time. Events with
+// equal times fire in the order they were scheduled (FIFO), which keeps
+// simulations fully deterministic.
+type Event struct {
+	at     Time
+	seq    uint64
+	fire   func(now Time)
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+	label  string
+}
+
+// At returns the time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Label returns the human-readable label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Cancel prevents the event from firing. Cancelling an already-fired
+// event is a harmless no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; all model code runs inside event callbacks on the
+// caller's goroutine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	maxraw int
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events scheduled but not yet fired
+// (including cancelled events not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute virtual time t. Scheduling in
+// the past panics: it always indicates a model bug, and silently
+// reordering time would corrupt every downstream statistic.
+func (e *Engine) At(t Time, label string, fn func(now Time)) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %s before now %s", label, FormatTime(t), FormatTime(e.now)))
+	}
+	ev := &Event{at: t, seq: e.seq, fire: fn, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d milliseconds from now.
+func (e *Engine) After(d Duration, label string, fn func(now Time)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, label, fn)
+}
+
+// Step fires the next event. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fire(e.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains. The limit guards against
+// runaway models: Run panics after limit events when limit > 0.
+func (e *Engine) Run(limit uint64) {
+	var n uint64
+	for e.Step() {
+		n++
+		if limit > 0 && n >= limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at %s", limit, FormatTime(e.now)))
+		}
+	}
+}
+
+// RunUntil fires events with time ≤ deadline, then stops with the clock
+// advanced to the deadline (even if no event fired exactly there).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 {
+		// Peek without popping: index 0 is the heap minimum, but it
+		// may be cancelled; Step handles discarding those.
+		next := e.queue[0]
+		if next.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,30 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineScheduleAndFire(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+Time(i%1000), "bench", func(Time) {})
+		if e.Pending() > 1024 {
+			for e.Pending() > 0 {
+				e.Step()
+			}
+		}
+	}
+	e.Run(0)
+}
+
+func BenchmarkEngineChainedEvents(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func(Time)
+	tick = func(Time) {
+		n++
+		if n < b.N {
+			e.After(1, "tick", tick)
+		}
+	}
+	e.After(1, "tick", tick)
+	e.Run(0)
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Seconds(1.5) != 1500 {
+		t.Errorf("Seconds(1.5) = %d, want 1500", Seconds(1.5))
+	}
+	if Seconds(0.0004) != 0 {
+		t.Errorf("Seconds(0.0004) = %d, want 0", Seconds(0.0004))
+	}
+	if got := SecondsOf(2500); got != 2.5 {
+		t.Errorf("SecondsOf(2500) = %v, want 2.5", got)
+	}
+	if got := MinutesOf(90 * Second); got != 1.5 {
+		t.Errorf("MinutesOf(90s) = %v, want 1.5", got)
+	}
+	if FromReal(2*time.Second) != 2*Second {
+		t.Error("FromReal mismatch")
+	}
+	if ToReal(3*Second) != 3*time.Second {
+		t.Error("ToReal mismatch")
+	}
+}
+
+func TestFormatTime(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "00:00:00"},
+		{1500, "00:00:01.500"},
+		{Hour + 2*Minute + 3*Second, "01:02:03"},
+		{Forever, "never"},
+		{-2 * Second, "-00:00:02"},
+		{25*Hour + 61*Second, "25:01:01"},
+	}
+	for _, c := range cases {
+		if got := FormatTime(c.t); got != c.want {
+			t.Errorf("FormatTime(%d) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, "c", func(Time) { order = append(order, 3) })
+	e.At(10, "a", func(Time) { order = append(order, 1) })
+	e.At(20, "b", func(Time) { order = append(order, 2) })
+	e.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("final clock = %d, want 30", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Errorf("fired = %d, want 3", e.Fired())
+	}
+}
+
+func TestEngineFIFOTies(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, "tie", func(Time) { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, "x", func(Time) { fired = true })
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Error("Cancelled() should be true after Cancel")
+	}
+	e.Run(0)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d after drain", e.Pending())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.At(10, "outer", func(now Time) {
+		times = append(times, now)
+		e.After(5, "inner", func(now Time) { times = append(times, now) })
+	})
+	e.Run(0)
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("nested scheduling times = %v, want [10 15]", times)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, "x", func(now Time) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		e.At(5, "past", func(Time) {})
+	})
+	e.Run(0)
+}
+
+func TestEngineAfterNegativeClamps(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(-100, "neg", func(now Time) {
+		if now != 0 {
+			t.Errorf("negative After fired at %d, want 0", now)
+		}
+		fired = true
+	})
+	e.Run(0)
+	if !fired {
+		t.Error("clamped event never fired")
+	}
+}
+
+func TestEngineRunLimit(t *testing.T) {
+	e := NewEngine()
+	var tick func(Time)
+	tick = func(Time) { e.After(1, "tick", tick) }
+	e.After(1, "tick", tick)
+	defer func() {
+		if recover() == nil {
+			t.Error("Run with limit should panic on runaway model")
+		}
+	}()
+	e.Run(100)
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, "x", func(now Time) { fired = append(fired, now) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 5 and 10 only", fired)
+	}
+	if e.Now() != 12 {
+		t.Errorf("clock = %d after RunUntil(12)", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after second RunUntil", fired)
+	}
+	if e.Now() != 100 {
+		t.Errorf("clock = %d, want 100", e.Now())
+	}
+}
+
+func TestEngineRunUntilSkipsCancelled(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(5, "c", func(Time) { t.Error("cancelled fired") })
+	ev.Cancel()
+	ran := false
+	e.At(8, "x", func(Time) { ran = true })
+	e.RunUntil(10)
+	if !ran {
+		t.Error("live event did not run")
+	}
+}
+
+// Property: any randomly scheduled set of events fires in nondecreasing
+// time order, and every non-cancelled event fires exactly once.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		count := int(n%64) + 1
+		var fired []Time
+		want := make([]Time, 0, count)
+		for i := 0; i < count; i++ {
+			at := Time(rng.Intn(1000))
+			want = append(want, at)
+			e.At(at, "p", func(now Time) { fired = append(fired, now) })
+		}
+		e.Run(0)
+		if len(fired) != count {
+			return false
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package tm is the application-side task-management interface — the
+// paper's extension of Torque's TM API (§III-B). An application running
+// under the batch system talks to its node-local mom daemon; the two
+// added calls are DynGet (tm_dynget: request additional resources at
+// runtime) and DynFree (tm_dynfree: release any subset of the current
+// allocation). Requests reach the server through the job's mother
+// superior, which serializes them (at most one outstanding per job).
+//
+// Applications launched with "exec:" scripts find their endpoint in
+// the TM_JOB_ID and TM_MOM_ADDR environment variables; in-process
+// applications ("go:" scripts) receive a *Context directly.
+package tm
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// EnvJobID and EnvMomAddr are the environment variables the mom sets
+// for exec-mode applications.
+const (
+	EnvJobID   = "TM_JOB_ID"
+	EnvMomAddr = "TM_MOM_ADDR"
+)
+
+// Context is an application's handle to its local mom.
+type Context struct {
+	JobID   int
+	MomAddr string
+}
+
+// FromEnv builds a Context from the TM environment variables.
+func FromEnv() (*Context, error) {
+	idStr := os.Getenv(EnvJobID)
+	addr := os.Getenv(EnvMomAddr)
+	if idStr == "" || addr == "" {
+		return nil, fmt.Errorf("tm: %s/%s not set (not running under a mom?)", EnvJobID, EnvMomAddr)
+	}
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		return nil, fmt.Errorf("tm: bad %s: %v", EnvJobID, err)
+	}
+	return &Context{JobID: id, MomAddr: addr}, nil
+}
+
+// call performs one TM round trip with the local mom.
+func (c *Context) call(t proto.MsgType, payload any) (*proto.TMResp, error) {
+	conn, err := proto.Dial(c.MomAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tm: dial mom: %w", err)
+	}
+	defer conn.Close()
+	env, err := conn.Request(t, payload)
+	if err != nil {
+		return nil, fmt.Errorf("tm: %s: %w", t, err)
+	}
+	if env.Type != proto.TTMResp {
+		return nil, fmt.Errorf("tm: unexpected reply %s", env.Type)
+	}
+	var resp proto.TMResp
+	if err := env.Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DynGet requests cores additional cores anywhere in the cluster.
+// On success it returns the dynamically allocated host slices; the
+// application can spawn processes there (MPI-2 dynamic process
+// management in the paper). A scheduling rejection is returned as a
+// *Rejected* error so callers can distinguish it from transport
+// failures and retry later, as the ESP evolving jobs do.
+func (c *Context) DynGet(cores int) ([]proto.HostSlice, error) {
+	resp, err := c.call(proto.TTMDynGet, proto.TMDynGetReq{JobID: c.JobID, Cores: cores})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, &Rejected{Reason: resp.Reason}
+	}
+	return resp.Hosts, nil
+}
+
+// DynGetTimeout is the negotiation form of DynGet (the paper's §III-C
+// future work, implemented here): the batch system keeps the request
+// queued until it can be granted or timeout elapses. The call blocks
+// for up to the full timeout.
+func (c *Context) DynGetTimeout(cores int, timeout time.Duration) ([]proto.HostSlice, error) {
+	resp, err := c.call(proto.TTMDynGet, proto.TMDynGetReq{
+		JobID: c.JobID, Cores: cores, TimeoutSecs: int64(timeout / time.Second),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, &Rejected{Reason: resp.Reason}
+	}
+	return resp.Hosts, nil
+}
+
+// DynGetNodes requests nodes whole nodes with ppn processors each
+// (the Torque nodes=N:ppn=P request form).
+func (c *Context) DynGetNodes(nodes, ppn int) ([]proto.HostSlice, error) {
+	resp, err := c.call(proto.TTMDynGet, proto.TMDynGetReq{JobID: c.JobID, Nodes: nodes, PPN: ppn})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, &Rejected{Reason: resp.Reason}
+	}
+	return resp.Hosts, nil
+}
+
+// DynFree releases the given host slices — any subset of the current
+// allocation, not only whole dynamic grants (§V contrasts this with
+// SLURM's restriction). It "usually returns true" (§III-B): failures
+// indicate the job does not hold the slices.
+func (c *Context) DynFree(hosts []proto.HostSlice) error {
+	resp, err := c.call(proto.TTMDynFree, proto.TMDynFreeReq{JobID: c.JobID, Hosts: hosts})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("tm: dynfree rejected: %s", resp.Reason)
+	}
+	return nil
+}
+
+// Done reports application completion to the local mom. Applications
+// run via "go:" scripts may also simply return; the mom treats the
+// function returning as completion.
+func (c *Context) Done(appErr error) error {
+	req := proto.TMDoneReq{JobID: c.JobID}
+	if appErr != nil {
+		req.Error = appErr.Error()
+	}
+	resp, err := c.call(proto.TTMDone, req)
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("tm: done rejected: %s", resp.Reason)
+	}
+	return nil
+}
+
+// Rejected is returned by DynGet/DynGetNodes when the scheduler
+// declined the request (insufficient resources or a dynamic-fairness
+// veto). The application keeps running on its current allocation.
+type Rejected struct {
+	Reason string
+}
+
+func (r *Rejected) Error() string {
+	return fmt.Sprintf("tm: dynamic request rejected: %s", r.Reason)
+}
+
+// IsRejected reports whether err is a scheduling rejection.
+func IsRejected(err error) bool {
+	_, ok := err.(*Rejected)
+	return ok
+}

@@ -1,0 +1,141 @@
+package tm
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvJobID, "42")
+	t.Setenv(EnvMomAddr, "127.0.0.1:9999")
+	c, err := FromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.JobID != 42 || c.MomAddr != "127.0.0.1:9999" {
+		t.Errorf("ctx = %+v", c)
+	}
+}
+
+func TestFromEnvMissing(t *testing.T) {
+	t.Setenv(EnvJobID, "")
+	t.Setenv(EnvMomAddr, "")
+	if _, err := FromEnv(); err == nil {
+		t.Error("missing env must error")
+	}
+	t.Setenv(EnvJobID, "notanumber")
+	t.Setenv(EnvMomAddr, "addr")
+	if _, err := FromEnv(); err == nil {
+		t.Error("bad job id must error")
+	}
+}
+
+// fakeMom answers one TM request per connection.
+func fakeMom(t *testing.T, respond func(env *proto.Envelope) proto.TMResp) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				pc := proto.NewConn(c)
+				defer pc.Close()
+				env, err := pc.Recv()
+				if err != nil {
+					return
+				}
+				_ = pc.Send(proto.TTMResp, respond(env))
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestDynGetGranted(t *testing.T) {
+	addr := fakeMom(t, func(env *proto.Envelope) proto.TMResp {
+		if env.Type != proto.TTMDynGet {
+			t.Errorf("type = %s", env.Type)
+		}
+		var req proto.TMDynGetReq
+		_ = env.Decode(&req)
+		if req.Cores != 4 || req.JobID != 7 {
+			t.Errorf("req = %+v", req)
+		}
+		return proto.TMResp{OK: true, Hosts: []proto.HostSlice{{Node: "n1", Cores: 4}}}
+	})
+	c := &Context{JobID: 7, MomAddr: addr}
+	hosts, err := c.DynGet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 1 || hosts[0].Cores != 4 {
+		t.Errorf("hosts = %+v", hosts)
+	}
+}
+
+func TestDynGetRejected(t *testing.T) {
+	addr := fakeMom(t, func(*proto.Envelope) proto.TMResp {
+		return proto.TMResp{OK: false, Reason: "fairness veto"}
+	})
+	c := &Context{JobID: 7, MomAddr: addr}
+	_, err := c.DynGet(4)
+	if !IsRejected(err) {
+		t.Fatalf("want Rejected, got %v", err)
+	}
+	if err.Error() == "" {
+		t.Error("rejection should carry a message")
+	}
+}
+
+func TestDynGetNodes(t *testing.T) {
+	addr := fakeMom(t, func(env *proto.Envelope) proto.TMResp {
+		var req proto.TMDynGetReq
+		_ = env.Decode(&req)
+		if req.Nodes != 2 || req.PPN != 8 {
+			t.Errorf("req = %+v", req)
+		}
+		return proto.TMResp{OK: true, Hosts: []proto.HostSlice{{Node: "a", Cores: 8}, {Node: "b", Cores: 8}}}
+	})
+	c := &Context{JobID: 1, MomAddr: addr}
+	hosts, err := c.DynGetNodes(2, 8)
+	if err != nil || len(hosts) != 2 {
+		t.Fatalf("hosts=%v err=%v", hosts, err)
+	}
+}
+
+func TestDynFreeAndDone(t *testing.T) {
+	addr := fakeMom(t, func(env *proto.Envelope) proto.TMResp {
+		switch env.Type {
+		case proto.TTMDynFree, proto.TTMDone:
+			return proto.TMResp{OK: true}
+		}
+		return proto.TMResp{OK: false, Reason: "unexpected"}
+	})
+	c := &Context{JobID: 1, MomAddr: addr}
+	if err := c.DynFree([]proto.HostSlice{{Node: "a", Cores: 2}}); err != nil {
+		t.Errorf("dynfree: %v", err)
+	}
+	if err := c.Done(nil); err != nil {
+		t.Errorf("done: %v", err)
+	}
+}
+
+func TestTransportErrorIsNotRejection(t *testing.T) {
+	c := &Context{JobID: 1, MomAddr: "127.0.0.1:1"}
+	_, err := c.DynGet(4)
+	if err == nil {
+		t.Fatal("dial must fail")
+	}
+	if IsRejected(err) {
+		t.Error("transport errors must not look like scheduling rejections")
+	}
+}

@@ -1,0 +1,226 @@
+// Package trace records scheduling events during a run and renders
+// them — as a human-readable event log and as an ASCII Gantt chart of
+// the cluster, with dynamic expansions marked. It is the debugging
+// companion to the metrics package: metrics aggregates, trace shows
+// the actual schedule.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+const (
+	Submit Kind = iota
+	Start
+	Backfill
+	DynRequest
+	DynGrant
+	DynReject
+	DynFree
+	Complete
+	Cancel
+	Preempt
+	NodeDown
+	NodeUp
+	Shrink
+	Grow
+)
+
+var kindNames = [...]string{
+	"submit", "start", "backfill", "dynreq", "dyngrant",
+	"dynreject", "dynfree", "complete", "cancel", "preempt",
+	"nodedown", "nodeup", "shrink", "grow",
+}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At    sim.Time
+	Kind  Kind
+	Job   string // job name ("" for node events)
+	Cores int    // cores involved (grant size, job size, ...)
+	Note  string
+}
+
+// Log accumulates events in time order (events must be appended with
+// non-decreasing timestamps, which both harnesses guarantee).
+type Log struct {
+	events []Event
+}
+
+// Add appends an event.
+func (l *Log) Add(e Event) { l.events = append(l.events, e) }
+
+// Addf appends an event with a formatted note.
+func (l *Log) Addf(at sim.Time, k Kind, jobName string, cores int, format string, args ...any) {
+	l.Add(Event{At: at, Kind: k, Job: jobName, Cores: cores, Note: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the recorded events.
+func (l *Log) Events() []Event { return append([]Event(nil), l.events...) }
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Filter returns the events of one kind.
+func (l *Log) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the log, one line per event.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.events {
+		fmt.Fprintf(&b, "%s %-9s %-12s", sim.FormatTime(e.At), e.Kind, e.Job)
+		if e.Cores != 0 {
+			fmt.Fprintf(&b, " cores=%-4d", e.Cores)
+		}
+		if e.Note != "" {
+			fmt.Fprintf(&b, " %s", e.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Span is one horizontal bar of the Gantt chart.
+type Span struct {
+	Job        string
+	Start, End sim.Time
+	Cores      int
+	GrewAt     sim.Time // zero when the job never expanded
+	Backfilled bool
+}
+
+// Spans derives job spans from the log (start/backfill → complete or
+// cancel), annotated with the first dynamic grant.
+func (l *Log) Spans() []Span {
+	open := map[string]*Span{}
+	var done []Span
+	for _, e := range l.events {
+		switch e.Kind {
+		case Start, Backfill:
+			open[e.Job] = &Span{Job: e.Job, Start: e.At, Cores: e.Cores, Backfilled: e.Kind == Backfill}
+		case DynGrant:
+			if s, ok := open[e.Job]; ok && s.GrewAt == 0 {
+				s.GrewAt = e.At
+				s.Cores += e.Cores
+			} else if ok {
+				s.Cores += e.Cores
+			}
+		case DynFree:
+			if s, ok := open[e.Job]; ok {
+				s.Cores -= e.Cores
+			}
+		case Complete, Cancel, Preempt:
+			if s, ok := open[e.Job]; ok {
+				s.End = e.At
+				done = append(done, *s)
+				delete(open, e.Job)
+			}
+		}
+	}
+	// Any still-open spans end at the last event.
+	var last sim.Time
+	if len(l.events) > 0 {
+		last = l.events[len(l.events)-1].At
+	}
+	names := make([]string, 0, len(open))
+	for n := range open {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := *open[n]
+		s.End = last
+		done = append(done, s)
+	}
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].Start != done[j].Start {
+			return done[i].Start < done[j].Start
+		}
+		return done[i].Job < done[j].Job
+	})
+	return done
+}
+
+// Gantt renders the spans as an ASCII chart with the given width in
+// character cells. Legend: '=' running, '#' running after a dynamic
+// expansion, 'b' marks a backfilled start.
+func (l *Log) Gantt(width int) string {
+	spans := l.Spans()
+	if len(spans) == 0 {
+		return "(empty schedule)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	var t0, t1 sim.Time = spans[0].Start, 0
+	for _, s := range spans {
+		if s.Start < t0 {
+			t0 = s.Start
+		}
+		if s.End > t1 {
+			t1 = s.End
+		}
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	scale := float64(width) / float64(t1-t0)
+	cell := func(t sim.Time) int {
+		c := int(float64(t-t0) * scale)
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s |%s| cores\n", "job", strings.Repeat("-", width))
+	for _, s := range spans {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		from, to := cell(s.Start), cell(s.End)
+		grew := width
+		if s.GrewAt > 0 {
+			grew = cell(s.GrewAt)
+		}
+		for i := from; i <= to && i < width; i++ {
+			if i >= grew {
+				row[i] = '#'
+			} else {
+				row[i] = '='
+			}
+		}
+		if s.Backfilled {
+			row[from] = 'b'
+		}
+		fmt.Fprintf(&b, "%-14s |%s| %d\n", s.Job, row, s.Cores)
+	}
+	fmt.Fprintf(&b, "%-14s  %s .. %s\n", "", sim.FormatTime(t0), sim.FormatTime(t1))
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sampleLog() *Log {
+	l := &Log{}
+	l.Add(Event{At: 0, Kind: Submit, Job: "a", Cores: 8})
+	l.Add(Event{At: 0, Kind: Start, Job: "a", Cores: 8})
+	l.Add(Event{At: sim.Minute, Kind: Submit, Job: "b", Cores: 4})
+	l.Add(Event{At: sim.Minute, Kind: Backfill, Job: "b", Cores: 4})
+	l.Add(Event{At: 2 * sim.Minute, Kind: DynRequest, Job: "a", Cores: 4})
+	l.Add(Event{At: 2 * sim.Minute, Kind: DynGrant, Job: "a", Cores: 4})
+	l.Add(Event{At: 3 * sim.Minute, Kind: DynFree, Job: "a", Cores: 2})
+	l.Add(Event{At: 5 * sim.Minute, Kind: Complete, Job: "b", Cores: 4})
+	l.Add(Event{At: 10 * sim.Minute, Kind: Complete, Job: "a", Cores: 10})
+	return l
+}
+
+func TestKindStrings(t *testing.T) {
+	if Submit.String() != "submit" || DynGrant.String() != "dyngrant" || NodeUp.String() != "nodeup" {
+		t.Error("kind stringer")
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Error("out-of-range kind")
+	}
+}
+
+func TestLogBasics(t *testing.T) {
+	l := sampleLog()
+	if l.Len() != 9 {
+		t.Errorf("len = %d", l.Len())
+	}
+	if got := l.Filter(Complete); len(got) != 2 {
+		t.Errorf("complete events = %d", len(got))
+	}
+	s := l.String()
+	if !strings.Contains(s, "dyngrant") || !strings.Contains(s, "00:02:00") {
+		t.Errorf("log rendering:\n%s", s)
+	}
+	l2 := &Log{}
+	l2.Addf(5, Start, "x", 2, "note %d", 7)
+	if l2.Events()[0].Note != "note 7" {
+		t.Error("Addf note")
+	}
+}
+
+func TestSpans(t *testing.T) {
+	spans := sampleLog().Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	var a, b Span
+	for _, s := range spans {
+		switch s.Job {
+		case "a":
+			a = s
+		case "b":
+			b = s
+		}
+	}
+	if a.Start != 0 || a.End != 10*sim.Minute {
+		t.Errorf("a span = %+v", a)
+	}
+	if a.GrewAt != 2*sim.Minute {
+		t.Errorf("a grew at %v", a.GrewAt)
+	}
+	if a.Cores != 10 { // 8 + 4 granted - 2 freed
+		t.Errorf("a cores = %d", a.Cores)
+	}
+	if !b.Backfilled || a.Backfilled {
+		t.Error("backfill flags")
+	}
+}
+
+func TestSpansOpenJobs(t *testing.T) {
+	l := &Log{}
+	l.Add(Event{At: 0, Kind: Start, Job: "a", Cores: 8})
+	l.Add(Event{At: sim.Minute, Kind: Start, Job: "b", Cores: 8})
+	spans := l.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("open spans = %d", len(spans))
+	}
+	for _, s := range spans {
+		if s.End != sim.Minute {
+			t.Errorf("open span should end at the last event: %+v", s)
+		}
+	}
+}
+
+func TestGantt(t *testing.T) {
+	g := sampleLog().Gantt(40)
+	if !strings.Contains(g, "a") || !strings.Contains(g, "b") {
+		t.Errorf("gantt:\n%s", g)
+	}
+	if !strings.Contains(g, "#") {
+		t.Error("gantt should mark the dynamic expansion with '#'")
+	}
+	if !strings.Contains(g, "b=") && !strings.Contains(g, "b ") {
+		t.Logf("gantt:\n%s", g)
+	}
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 4 { // header + 2 spans + time footer
+		t.Errorf("gantt lines = %d:\n%s", len(lines), g)
+	}
+	empty := (&Log{}).Gantt(40)
+	if !strings.Contains(empty, "empty") {
+		t.Error("empty gantt")
+	}
+	// Tiny widths are clamped, no panic.
+	_ = sampleLog().Gantt(1)
+}
+
+func TestPreemptEndsSpan(t *testing.T) {
+	l := &Log{}
+	l.Add(Event{At: 0, Kind: Start, Job: "a", Cores: 8})
+	l.Add(Event{At: sim.Minute, Kind: Preempt, Job: "a", Cores: 8})
+	l.Add(Event{At: 2 * sim.Minute, Kind: Start, Job: "a", Cores: 8})
+	l.Add(Event{At: 3 * sim.Minute, Kind: Complete, Job: "a", Cores: 8})
+	spans := l.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("preempted job should have two spans, got %d", len(spans))
+	}
+}

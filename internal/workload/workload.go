@@ -1,0 +1,169 @@
+// Package workload generates synthetic random workloads — beyond the
+// fixed ESP mix — for robustness testing and capacity planning: a mix
+// of rigid, evolving and malleable jobs with exponential interarrival
+// and runtime distributions, in the spirit of Feitelson's workload
+// models. Generation is fully deterministic per seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/job"
+	"repro/internal/rms"
+	"repro/internal/sim"
+)
+
+// Spec parameterizes a random workload.
+type Spec struct {
+	Jobs int
+	Seed int64
+	// TotalCores is the target system size; per-job sizes are drawn
+	// from a log-uniform distribution in [1, MaxJobFrac·TotalCores].
+	TotalCores int
+	// MaxJobFrac caps a single job's size as a fraction of the system.
+	MaxJobFrac float64
+	// EvolvingFrac / MalleableFrac select job classes; the remainder
+	// is rigid.
+	EvolvingFrac  float64
+	MalleableFrac float64
+	// MeanRuntime and MeanInterarrival drive exponential draws.
+	MeanRuntime      sim.Duration
+	MeanInterarrival sim.Duration
+	// WalltimeFactor scales requested walltime over true runtime.
+	WalltimeFactor float64
+	// Users is the number of distinct submitting users.
+	Users int
+}
+
+// DefaultSpec returns a moderate mixed workload.
+func DefaultSpec() Spec {
+	return Spec{
+		Jobs:             100,
+		Seed:             1,
+		TotalCores:       120,
+		MaxJobFrac:       0.5,
+		EvolvingFrac:     0.3,
+		MalleableFrac:    0.1,
+		MeanRuntime:      10 * sim.Minute,
+		MeanInterarrival: 30 * sim.Second,
+		WalltimeFactor:   1.5,
+		Users:            8,
+	}
+}
+
+// Item is one generated job.
+type Item struct {
+	Job      *job.Job
+	App      rms.App
+	SubmitAt sim.Time
+}
+
+// Generate draws the workload.
+func Generate(spec Spec) []Item {
+	if spec.Jobs <= 0 {
+		return nil
+	}
+	if spec.TotalCores <= 0 {
+		spec.TotalCores = 120
+	}
+	if spec.MaxJobFrac <= 0 || spec.MaxJobFrac > 1 {
+		spec.MaxJobFrac = 0.5
+	}
+	if spec.MeanRuntime <= 0 {
+		spec.MeanRuntime = 10 * sim.Minute
+	}
+	if spec.MeanInterarrival <= 0 {
+		spec.MeanInterarrival = 30 * sim.Second
+	}
+	if spec.WalltimeFactor < 1 {
+		spec.WalltimeFactor = 1.5
+	}
+	if spec.Users <= 0 {
+		spec.Users = 8
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	maxCores := int(spec.MaxJobFrac * float64(spec.TotalCores))
+	if maxCores < 1 {
+		maxCores = 1
+	}
+
+	var items []Item
+	var at sim.Time
+	for i := 0; i < spec.Jobs; i++ {
+		if i > 0 {
+			at += expDuration(rng, spec.MeanInterarrival)
+		}
+		cores := logUniformInt(rng, 1, maxCores)
+		runtime := expDuration(rng, spec.MeanRuntime)
+		if runtime < sim.Second {
+			runtime = sim.Second
+		}
+		wall := sim.Duration(spec.WalltimeFactor * float64(runtime))
+		user := fmt.Sprintf("wuser%02d", rng.Intn(spec.Users))
+		j := &job.Job{
+			Name:     fmt.Sprintf("w.%d", i+1),
+			Cred:     job.Credentials{User: user, Group: "wgrp" + user[len(user)-1:]},
+			Cores:    cores,
+			Walltime: wall,
+		}
+		var app rms.App
+		switch draw := rng.Float64(); {
+		case draw < spec.EvolvingFrac:
+			j.Class = job.Evolving
+			det := sim.Duration(float64(runtime) * (0.5 + 0.4*rng.Float64()))
+			extra := 1 + rng.Intn(maxCores/2+1)
+			app = &rms.EvolvingApp{
+				SET: runtime, DET: det, ExtraCores: extra,
+				AttemptFracs: rms.DefaultAttemptFracs(),
+			}
+		case draw < spec.EvolvingFrac+spec.MalleableFrac:
+			j.Class = job.Malleable
+			j.MinCores = 1 + cores/2
+			j.MaxCores = cores * 2
+			if j.MaxCores > spec.TotalCores {
+				j.MaxCores = spec.TotalCores
+			}
+			app = &rms.MalleableWorkApp{Work: float64(cores) * sim.SecondsOf(runtime)}
+		default:
+			app = &rms.FixedApp{Runtime: runtime}
+		}
+		items = append(items, Item{Job: j, App: app, SubmitAt: at})
+	}
+	return items
+}
+
+// SubmitAll schedules every item on the server.
+func SubmitAll(srv *rms.Server, items []Item) {
+	for _, it := range items {
+		it := it
+		if it.SubmitAt == 0 {
+			srv.Submit(it.Job, it.App)
+		} else {
+			srv.SubmitAt(it.SubmitAt, it.Job, it.App)
+		}
+	}
+}
+
+// expDuration draws an exponentially distributed duration.
+func expDuration(rng *rand.Rand, mean sim.Duration) sim.Duration {
+	return sim.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// logUniformInt draws log-uniformly in [lo, hi] — small jobs common,
+// big ones rare, as production workloads show.
+func logUniformInt(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	v := math.Exp(rng.Float64() * math.Log(float64(hi-lo+1)))
+	n := lo + int(v) - 1
+	if n > hi {
+		n = hi
+	}
+	if n < lo {
+		n = lo
+	}
+	return n
+}

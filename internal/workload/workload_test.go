@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/fairness"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/rms"
+	"repro/internal/sim"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultSpec())
+	b := Generate(DefaultSpec())
+	if len(a) != len(b) || len(a) != 100 {
+		t.Fatalf("lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Job.Name != b[i].Job.Name || a[i].Job.Cores != b[i].Job.Cores ||
+			a[i].SubmitAt != b[i].SubmitAt || a[i].Job.Class != b[i].Job.Class {
+			t.Fatalf("item %d differs", i)
+		}
+	}
+}
+
+func TestGenerateClassMix(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Jobs = 1000
+	items := Generate(spec)
+	counts := map[job.Class]int{}
+	for _, it := range items {
+		counts[it.Job.Class]++
+		if it.Job.Cores < 1 || it.Job.Cores > 60 {
+			t.Fatalf("job size %d out of range", it.Job.Cores)
+		}
+		if it.Job.Walltime <= 0 {
+			t.Fatal("non-positive walltime")
+		}
+	}
+	// 30% evolving, 10% malleable, with generous tolerance.
+	if counts[job.Evolving] < 230 || counts[job.Evolving] > 370 {
+		t.Errorf("evolving = %d of 1000", counts[job.Evolving])
+	}
+	if counts[job.Malleable] < 50 || counts[job.Malleable] > 160 {
+		t.Errorf("malleable = %d of 1000", counts[job.Malleable])
+	}
+	if counts[job.Rigid] == 0 {
+		t.Error("no rigid jobs")
+	}
+}
+
+func TestGenerateDegenerate(t *testing.T) {
+	if Generate(Spec{}) != nil {
+		t.Error("zero jobs → nil")
+	}
+	items := Generate(Spec{Jobs: 5}) // all defaults filled in
+	if len(items) != 5 {
+		t.Fatal("defaults should apply")
+	}
+}
+
+// TestWholeSystemProperty is the randomized end-to-end invariant test:
+// for several seeds, run a full mixed workload (rigid + evolving +
+// malleable, fairness enabled, malleable resizing on) and assert the
+// global invariants the batch system must uphold.
+func TestWholeSystemProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		spec := DefaultSpec()
+		spec.Seed = seed
+		spec.Jobs = 60
+		run := func() (*rms.Server, *metrics.Recorder, *cluster.Cluster) {
+			eng := sim.NewEngine()
+			cl := cluster.New(15, 8)
+			sc := config.Default()
+			f := fairness.NewConfig(fairness.TargetDelay)
+			f.Set(fairness.KindUser, "wuser00", fairness.Limits{TargetDelayTime: 300 * sim.Second})
+			f.Set(fairness.KindUser, "wuser01", fairness.Limits{PermSet: true, Perm: false})
+			sc.Fairness = f
+			sched := core.New(core.Options{Config: sc, Malleable: true}, 0)
+			rec := metrics.NewRecorder(cl.TotalCores())
+			srv := rms.NewServer(eng, cl, sched, rec)
+			SubmitAll(srv, Generate(spec))
+			srv.Run(5_000_000)
+			return srv, rec, cl
+		}
+		srv, rec, cl := run()
+
+		// Every job terminates (completed, or cancelled at walltime).
+		if srv.Completed()+srv.Cancelled() != spec.Jobs {
+			t.Fatalf("seed %d: %d completed + %d cancelled of %d jobs",
+				seed, srv.Completed(), srv.Cancelled(), spec.Jobs)
+		}
+		// All resources returned.
+		if cl.IdleCores() != cl.TotalCores() {
+			t.Fatalf("seed %d: %d cores leaked", seed, cl.TotalCores()-cl.IdleCores())
+		}
+		if err := cl.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Utilization is a valid fraction; makespan positive.
+		if u := rec.Utilization(); u < 0 || u > 1.000001 {
+			t.Fatalf("seed %d: utilization %v", seed, u)
+		}
+		if rec.Makespan() <= 0 {
+			t.Fatalf("seed %d: empty makespan", seed)
+		}
+		// No job starts before submission or ends before start.
+		for _, r := range rec.Jobs() {
+			if r.Start < r.Submit || r.End < r.Start {
+				t.Fatalf("seed %d: job %v has an impossible timeline %v/%v/%v",
+					seed, r.ID, r.Submit, r.Start, r.End)
+			}
+		}
+		// Determinism: a second identical run agrees exactly.
+		_, rec2, _ := run()
+		if rec.Summarize("a") != rec2.Summarize("a") {
+			t.Fatalf("seed %d: non-deterministic run", seed)
+		}
+	}
+}
+
+// TestWorkloadUnderFailures injects node failures mid-run and checks
+// the system stays consistent (jobs are cancelled or absorbed, no
+// resource leaks, simulation terminates).
+func TestWorkloadUnderFailures(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		spec := DefaultSpec()
+		spec.Seed = seed
+		spec.Jobs = 40
+		eng := sim.NewEngine()
+		cl := cluster.New(15, 8)
+		sched := core.New(core.Options{Config: config.Default(), Malleable: true}, 0)
+		rec := metrics.NewRecorder(cl.TotalCores())
+		srv := rms.NewServer(eng, cl, sched, rec)
+		srv.FailurePolicy = rms.FailRequeue
+		SubmitAll(srv, Generate(spec))
+		// Fail two nodes mid-run, repair one later.
+		eng.At(5*sim.Minute, "fail3", func(sim.Time) { srv.FailNode(3) })
+		eng.At(7*sim.Minute, "fail9", func(sim.Time) { srv.FailNode(9) })
+		eng.At(20*sim.Minute, "repair3", func(sim.Time) { srv.RepairNode(3) })
+		srv.Run(5_000_000)
+
+		if srv.Completed()+srv.Cancelled() != spec.Jobs {
+			t.Fatalf("seed %d: %d+%d of %d jobs terminated",
+				seed, srv.Completed(), srv.Cancelled(), spec.Jobs)
+		}
+		if err := cl.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if cl.UsedCores() != 0 {
+			t.Fatalf("seed %d: %d cores leaked", seed, cl.UsedCores())
+		}
+	}
+}
