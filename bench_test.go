@@ -358,6 +358,27 @@ func BenchmarkESPEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkESPLargeSystem scales the dynamic ESP workload to larger
+// systems (ESP job sizes are fractions of the machine, so the mix
+// scales with it) and runs the Dyn-HP configuration end to end — the
+// ROADMAP's production-scale path through the incremental planner.
+func BenchmarkESPLargeSystem(b *testing.B) {
+	for _, cores := range []int{1024, 4096} {
+		cores := cores
+		b.Run(itoa(cores/1024)+"k-cores", func(b *testing.B) {
+			var last *experiments.ESPResult
+			for i := 0; i < b.N; i++ {
+				opts := esp.DefaultOpts()
+				opts.TotalCores = cores
+				last = experiments.RunESP(experiments.StandardConfigs()[1], opts)
+			}
+			b.ReportMetric(last.Summary.MakespanMinutes, "makespan-min")
+			b.ReportMetric(float64(last.Summary.SatisfiedDynJobs), "satisfied")
+			b.ReportMetric(last.Summary.UtilizationPct, "util-%")
+		})
+	}
+}
+
 // benchRM is a minimal ResourceManager for iteration micro-benches.
 type benchRM struct {
 	cl     *cluster.Cluster

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// TestIterateAllocs bounds the allocations of one scheduling iteration
+// on a small steady-state fixture (running jobs, blocked queue, no
+// dynamic requests). The iteration reuses the scheduler's scratch
+// profiles, so the remaining allocations are the RM snapshot copies,
+// the priority ordering, and the result — all O(queue), none O(queue ×
+// requests).
+func TestIterateAllocs(t *testing.T) {
+	rm := newTestRM(2, 8)
+	run := &job.Job{ID: 1, Cred: job.Credentials{User: "r"}, Cores: 8, Walltime: sim.Hour}
+	rm.addRunning(run)
+	for i := 2; i <= 4; i++ {
+		// 16-core jobs cannot start on the 8 idle cores: the queue
+		// stays unchanged, so every iteration does identical work.
+		rm.queued = append(rm.queued, mkQueued(i, "u", 16, sim.Hour, sim.Time(i)))
+	}
+	s := New(Options{}, 0)
+	s.Iterate(sim.Minute, rm) // warm scratch buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Iterate(sim.Minute, rm)
+	})
+	const maxAllocs = 40
+	if allocs > maxAllocs {
+		t.Errorf("one Iterate allocates %.0f times, want <= %d", allocs, maxAllocs)
+	}
+}

@@ -21,12 +21,12 @@ type Planned struct {
 	StartNow bool
 }
 
-// buildProfile constructs the availability profile of a cluster state:
-// idle cores now, plus the walltime-based releases of all active jobs
-// (including any dynamically acquired cores, which are reserved until
-// the evolving job's walltime end, §III-D).
-func buildProfile(now sim.Time, cl *cluster.Cluster, active []*job.Job) *profile.Profile {
-	p := profile.New(now, cl.IdleCores())
+// fillBuilder loads the availability deltas of a cluster state into a
+// batch builder: idle cores now, plus the walltime-based releases of
+// all active jobs (including any dynamically acquired cores, which are
+// reserved until the evolving job's walltime end, §III-D).
+func fillBuilder(b *profile.Builder, now sim.Time, cl *cluster.Cluster, active []*job.Job) {
+	b.Reset(now, cl.IdleCores())
 	for _, j := range active {
 		end := j.StartTime + j.Walltime
 		if end <= now {
@@ -34,9 +34,16 @@ func buildProfile(now sim.Time, cl *cluster.Cluster, active []*job.Job) *profile
 			// enforcement passes): assume imminent release.
 			end = now + sim.Second
 		}
-		p.AddRelease(end, j.TotalCores())
+		b.Release(end, j.TotalCores())
 	}
-	return p
+}
+
+// buildProfile constructs the availability profile of a cluster state
+// in one batch pass (sort once, prefix-sum once).
+func buildProfile(now sim.Time, cl *cluster.Cluster, active []*job.Job) *profile.Profile {
+	var b profile.Builder
+	fillBuilder(&b, now, cl, active)
+	return b.Build()
 }
 
 // planJobs runs the reservation planning pass of the Maui iteration:
@@ -84,17 +91,25 @@ func startsByID(plans []Planned) map[job.ID]sim.Time {
 // delaySet selects the jobs whose delays the extended iteration
 // measures: every StartNow job plus the first delayDepth blocked jobs
 // (Fig. 5: ReservationDelayDepth governs the StartLater jobs counted).
-func delaySet(plans []Planned, delayDepth int) []Planned {
+// The second result is the index (into the priority order) of the last
+// measured job, or -1 when nothing is measured. A what-if plan only
+// needs to run up to that index: a job's planned start depends solely
+// on the holds of higher-priority jobs, so everything after the last
+// measured job is dead work for delay comparison.
+func delaySet(plans []Planned, delayDepth int) ([]Planned, int) {
 	var out []Planned
+	last := -1
 	blocked := 0
-	for _, p := range plans {
+	for i, p := range plans {
 		switch {
 		case p.StartNow:
 			out = append(out, p)
+			last = i
 		case p.Start < sim.Forever && blocked < delayDepth:
 			out = append(out, p)
 			blocked++
+			last = i
 		}
 	}
-	return out
+	return out, last
 }

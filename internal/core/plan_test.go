@@ -103,12 +103,15 @@ func TestDelaySet(t *testing.T) {
 		mk(5, true, true, 0),             // StartNow always included
 		mk(6, false, false, sim.Forever), // never fits — excluded
 	}
-	got := delaySet(plans, 2)
+	got, last := delaySet(plans, 2)
 	ids := make([]job.ID, len(got))
 	for i, p := range got {
 		ids[i] = p.Job.ID
 	}
 	want := []job.ID{1, 2, 3, 5}
+	if last != 4 {
+		t.Fatalf("last measured index = %d, want 4 (job 5)", last)
+	}
 	if len(ids) != len(want) {
 		t.Fatalf("delay set = %v, want %v", ids, want)
 	}

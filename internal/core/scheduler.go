@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/fairness"
 	"repro/internal/job"
+	"repro/internal/profile"
 	"repro/internal/sim"
 )
 
@@ -111,7 +113,62 @@ type Scheduler struct {
 	fair *fairness.Tracker
 	fs   *Fairshare
 
-	iterations uint64
+	// iterations is atomic: live daemons iterate on their own
+	// goroutine while status endpoints read the count.
+	iterations atomic.Uint64
+
+	// Scratch storage reused across iterations so the hot path
+	// (per-request what-if planning) stops allocating once warm.
+	builder     profile.Builder
+	pristineBuf profile.Profile
+	baseBuf     profile.Profile
+	candBuf     profile.Profile
+	finalBuf    profile.Profile
+	planDone    chan []Planned
+}
+
+// planContext carries the incremental planning state of one iteration:
+// the pristine availability profile (cluster releases only, no planning
+// holds) and the base plans of the static queue against it. Both are
+// built at most once per cluster-state epoch and reused across the FIFO
+// dynamic requests; a grant advances the epoch by applying its hold
+// incrementally instead of rebuilding from scratch.
+type planContext struct {
+	now     sim.Time
+	ordered []*job.Job
+	// pristine is the base availability profile; nil means stale.
+	pristine *profile.Profile
+	// idleAtBuild detects cluster mutations (starts, shrinks,
+	// preemptions) that happened since pristine was built.
+	idleAtBuild int
+	// basePlans/measured/lastIdx cache the static queue planned against
+	// pristine, the delay-measured subset, and the index of the last
+	// measured job (what-if planning stops there).
+	basePlans []Planned
+	measured  []Planned
+	lastIdx   int
+	baseValid bool
+}
+
+// invalidate drops all cached planning state after an untracked
+// cluster mutation (malleable shrink, preemption).
+func (pc *planContext) invalidate() {
+	pc.pristine = nil
+	pc.baseValid = false
+}
+
+// ensureBase returns the pristine availability profile for the current
+// cluster state, rebuilding it in one batch pass when it is stale.
+func (s *Scheduler) ensureBase(pc *planContext, rm ResourceManager) *profile.Profile {
+	cl := rm.Cluster()
+	idle := cl.IdleCores()
+	if pc.pristine == nil || idle != pc.idleAtBuild {
+		fillBuilder(&s.builder, pc.now, cl, rm.ActiveJobs())
+		pc.pristine = s.builder.BuildInto(&s.pristineBuf)
+		pc.idleAtBuild = idle
+		pc.baseValid = false
+	}
+	return pc.pristine
 }
 
 // New creates a scheduler. A nil cfg uses config.Default(); the
@@ -124,9 +181,10 @@ func New(opts Options, startTime sim.Time) *Scheduler {
 		opts.Weights = DefaultWeights()
 	}
 	return &Scheduler{
-		opts: opts,
-		fair: fairness.NewTracker(opts.Config.Fairness, startTime),
-		fs:   NewFairshare(24*sim.Hour, 0.7),
+		opts:     opts,
+		fair:     fairness.NewTracker(opts.Config.Fairness, startTime),
+		fs:       NewFairshare(24*sim.Hour, 0.7),
+		planDone: make(chan []Planned, 1),
 	}
 }
 
@@ -138,7 +196,7 @@ func (s *Scheduler) FairnessTracker() *fairness.Tracker { return s.fair }
 func (s *Scheduler) Fairshare() *Fairshare { return s.fs }
 
 // Iterations returns how many scheduling iterations have run.
-func (s *Scheduler) Iterations() uint64 { return s.iterations }
+func (s *Scheduler) Iterations() uint64 { return s.iterations.Load() }
 
 // Options returns the scheduler's options.
 func (s *Scheduler) Options() Options { return s.opts }
@@ -175,9 +233,8 @@ func (s *Scheduler) selectEligible(queued []*job.Job) []*job.Job {
 // Algorithm 2 of the paper; with an empty dynamic-request queue it is
 // exactly Algorithm 1.
 func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
-	s.iterations++
+	s.iterations.Add(1)
 	res := &IterationResult{Now: now}
-	cl := rm.Cluster()
 
 	// Steps 2–5: obtain resource/workload information, update
 	// statistics, refresh reservations (reservations are re-derived
@@ -196,11 +253,13 @@ func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
 
 	// Steps 10–24: schedule static jobs and create reservations
 	// without starting them, then process each dynamic request in
-	// FIFO order. The baseline plan is rebuilt per request inside
-	// processDynRequest because each grant changes the profile.
+	// FIFO order. The base profile and base plans are built once and
+	// reused across requests; a grant applies its hold to the base
+	// incrementally instead of rebuilding from scratch.
+	pc := &planContext{now: now, ordered: ordered, lastIdx: -1}
 	processDyn := func() {
 		for _, req := range dynReqs {
-			dec := s.processDynRequest(now, rm, req, ordered, res)
+			dec := s.processDynRequest(pc, rm, req, res)
 			res.DynDecisions = append(res.DynDecisions, dec)
 		}
 	}
@@ -227,7 +286,7 @@ func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
 	// is allowed only when backfill is enabled and no system-priority
 	// (Z) job is waiting. The top ReservationDepth blocked jobs place
 	// reservation holds so backfilled jobs cannot delay them.
-	final := buildProfile(now, cl, rm.ActiveJobs())
+	final := s.ensureBase(pc, rm).CloneInto(&s.finalBuf)
 	heldBlocked := 0
 	anyBlocked := false
 	for _, j := range ordered {
@@ -287,7 +346,8 @@ func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
 // measure the delays a grant would cause to the StartNow and
 // StartLater jobs, gate on the dynamic fairness policies, then grant
 // or reject.
-func (s *Scheduler) processDynRequest(now sim.Time, rm ResourceManager, req *job.DynRequest, ordered []*job.Job, res *IterationResult) DynDecision {
+func (s *Scheduler) processDynRequest(pc *planContext, rm ResourceManager, req *job.DynRequest, res *IterationResult) DynDecision {
+	now := pc.now
 	dec := DynDecision{Req: req}
 	cl := rm.Cluster()
 	need := req.TotalCores()
@@ -305,14 +365,20 @@ func (s *Scheduler) processDynRequest(now sim.Time, rm ResourceManager, req *job
 	// Allocation sources in the §II-B order: idle resources first,
 	// then stealing from malleable jobs, then preemption (if enabled).
 	if cl.IdleCores() < need {
+		preempted, resized := len(res.Preempted), len(res.Resizes)
 		ok := s.shrinkMalleable(now, rm, need, res)
 		if !ok && s.opts.Config.PreemptPolicy == "REQUEUE" {
 			ok = s.tryPreempt(now, rm, need, res)
 		}
+		if len(res.Preempted) != preempted || len(res.Resizes) != resized {
+			// Shrinks and preemptions changed the release schedule, not
+			// just the idle count; rebuild the base from scratch.
+			pc.invalidate()
+		}
 		if !ok {
 			// Estimate when the resources could become free — the
 			// "time of availability" half of the negotiation protocol.
-			dec.AvailableAt = s.estimateAvailability(now, rm, req, need)
+			dec.AvailableAt = s.estimateAvailability(pc, rm, req, need)
 			if req.Negotiable() && !req.Expired(now) {
 				// Deferred: the request stays queued at the server and
 				// is retried every iteration until grant or deadline.
@@ -329,20 +395,41 @@ func (s *Scheduler) processDynRequest(now sim.Time, rm ResourceManager, req *job
 	// Measure delays: plan the static queue with and without the
 	// hypothetical grant. The grant holds the extra cores until the
 	// evolving job's walltime end (dynamic reservations run to the
-	// rest of the walltime, §III-D).
+	// rest of the walltime, §III-D). The base side comes from the
+	// per-iteration cache; the candidate side is a what-if overlay on
+	// a reused scratch clone.
 	evolveEnd := req.Job.StartTime + req.Job.Walltime
 	if evolveEnd <= now {
 		evolveEnd = now + sim.Second
 	}
-	baseP := buildProfile(now, cl, rm.ActiveJobs())
-	candP := baseP.Clone()
+	base := s.ensureBase(pc, rm)
+	candP := base.CloneInto(&s.candBuf)
 	candP.AddHold(now, evolveEnd, need)
 
-	basePlans := planJobs(baseP, ordered, now, s.maxHeld())
-	candPlans := planJobs(candP, ordered, now, s.maxHeld())
+	var candPlans []Planned
+	candFull := false
+	if !pc.baseValid {
+		// Base plans are stale: replan the full queue on both sides.
+		// The two passes are independent reads over separate clones,
+		// so they run concurrently.
+		candFull = true
+		baseP := base.CloneInto(&s.baseBuf)
+		go func() {
+			s.planDone <- planJobs(baseP, pc.ordered, now, s.maxHeld())
+		}()
+		candPlans = planJobs(candP, pc.ordered, now, s.maxHeld())
+		pc.basePlans = <-s.planDone
+		pc.measured, pc.lastIdx = delaySet(pc.basePlans, s.opts.Config.ReservationDelayDepth)
+		pc.baseValid = true
+	} else {
+		// Cached base: the what-if only needs plans up to the last
+		// delay-measured job — a planned start depends solely on the
+		// holds of higher-priority jobs.
+		candPlans = planJobs(candP, pc.ordered[:pc.lastIdx+1], now, s.maxHeld())
+	}
 	candStart := startsByID(candPlans)
 
-	measured := delaySet(basePlans, s.opts.Config.ReservationDelayDepth)
+	measured := pc.measured
 	delays := make([]fairness.JobDelay, 0, len(measured))
 	for _, p := range measured {
 		cand, ok := candStart[p.Job.ID]
@@ -388,19 +475,33 @@ func (s *Scheduler) processDynRequest(now sim.Time, rm ResourceManager, req *job
 	}
 	s.fair.Charge(req.Job.Cred, delays)
 	dec.Granted = true
+
+	// Fold the grant into the cached base incrementally: the granted
+	// cores are held from now to the evolving job's walltime end, which
+	// is exactly the delta a from-scratch rebuild would observe.
+	pc.pristine.AddHold(now, evolveEnd, need)
+	pc.idleAtBuild -= need
+	if candFull {
+		// The full-queue candidate plan was computed against exactly
+		// this profile — it becomes the new base plan for free.
+		pc.basePlans = candPlans
+		pc.measured, pc.lastIdx = delaySet(pc.basePlans, s.opts.Config.ReservationDelayDepth)
+	} else {
+		pc.baseValid = false
+	}
 	return dec
 }
 
 // estimateAvailability computes the earliest walltime-based instant at
 // which the requested cores could be continuously free for the rest of
-// the evolving job's walltime.
-func (s *Scheduler) estimateAvailability(now sim.Time, rm ResourceManager, req *job.DynRequest, need int) sim.Time {
-	dur := req.Job.RemainingWalltime(now)
+// the evolving job's walltime. It reads the iteration's cached base
+// profile (FindSlot does not mutate) instead of rebuilding one.
+func (s *Scheduler) estimateAvailability(pc *planContext, rm ResourceManager, req *job.DynRequest, need int) sim.Time {
+	dur := req.Job.RemainingWalltime(pc.now)
 	if dur <= 0 {
 		dur = sim.Second
 	}
-	p := buildProfile(now, rm.Cluster(), rm.ActiveJobs())
-	return p.FindSlot(need, dur, now)
+	return s.ensureBase(pc, rm).FindSlot(need, dur, pc.now)
 }
 
 // tryPreempt frees cores for a dynamic request by requeueing

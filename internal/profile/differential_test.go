@@ -1,0 +1,225 @@
+package profile
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// naiveFindSlot is the pre-sweep reference implementation: try earliest
+// plus every later boundary as a candidate start and rescan the whole
+// window for each. O(n²) but obviously faithful to the definition.
+func naiveFindSlot(p *Profile, cores int, dur sim.Duration, earliest sim.Time) sim.Time {
+	if cores <= 0 {
+		return earliest
+	}
+	if earliest < p.Start() {
+		earliest = p.Start()
+	}
+	if naiveFits(p, earliest, cores, dur) {
+		return earliest
+	}
+	steps := p.Steps()
+	i := sort.Search(len(steps), func(i int) bool { return steps[i].T > earliest })
+	for ; i < len(steps); i++ {
+		if naiveFits(p, steps[i].T, cores, dur) {
+			return steps[i].T
+		}
+	}
+	return sim.Forever
+}
+
+func naiveFits(p *Profile, start sim.Time, cores int, dur sim.Duration) bool {
+	var end sim.Time
+	if dur >= sim.Forever-start {
+		end = sim.Forever
+	} else {
+		end = start + dur
+	}
+	if p.FreeAt(start) < cores {
+		return false
+	}
+	steps := p.Steps()
+	i := sort.Search(len(steps), func(i int) bool { return steps[i].T > start })
+	for ; i < len(steps) && steps[i].T < end; i++ {
+		if steps[i].Free < cores {
+			return false
+		}
+	}
+	return true
+}
+
+// mutation is one random capacity edit, applied identically to the
+// incremental profile (AddRelease/AddHold) and the batch builder.
+type mutation struct {
+	hold       bool
+	start, end sim.Time
+	cores      int
+}
+
+func randomMutations(r *rand.Rand, n int) []mutation {
+	muts := make([]mutation, n)
+	for i := range muts {
+		m := mutation{
+			start: sim.Time(r.Intn(10_000)) * sim.Second,
+			cores: r.Intn(32) + 1,
+		}
+		if r.Intn(2) == 0 {
+			m.hold = true
+			if r.Intn(8) == 0 {
+				m.end = sim.Forever
+			} else {
+				m.end = m.start + sim.Time(r.Intn(3_600)+1)*sim.Second
+			}
+		}
+		muts[i] = m
+	}
+	return muts
+}
+
+// applyIncremental replays mutations through the per-boundary API,
+// checking invariants after every single mutation.
+func applyIncremental(t *testing.T, muts []mutation) *Profile {
+	t.Helper()
+	p := New(0, 64)
+	for i, m := range muts {
+		if m.hold {
+			p.AddHold(m.start, m.end, m.cores)
+		} else {
+			p.AddRelease(m.start, m.cores)
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("after mutation %d (%+v): %v", i, m, err)
+		}
+	}
+	return p
+}
+
+// applyBatch replays the same mutations through the Builder.
+func applyBatch(t *testing.T, muts []mutation) *Profile {
+	t.Helper()
+	b := NewBuilder(0, 64)
+	for _, m := range muts {
+		if m.hold {
+			b.Hold(m.start, m.end, m.cores)
+		} else {
+			b.Release(m.start, m.cores)
+		}
+	}
+	p := b.Build()
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("batch-built profile: %v", err)
+	}
+	return p
+}
+
+// samplePoints collects every boundary of both profiles plus segment
+// midpoints and out-of-range probes, so a value comparison covers every
+// piecewise-constant segment.
+func samplePoints(ps ...*Profile) []sim.Time {
+	var ts []sim.Time
+	for _, p := range ps {
+		steps := p.Steps()
+		for i, s := range steps {
+			ts = append(ts, s.T)
+			if i+1 < len(steps) {
+				ts = append(ts, s.T+(steps[i+1].T-s.T)/2)
+			} else {
+				ts = append(ts, s.T+sim.Hour)
+			}
+		}
+	}
+	ts = append(ts, -sim.Hour, 0, sim.Forever-1)
+	return ts
+}
+
+// TestBatchBuildMatchesIncremental checks that the sorted prefix-sum
+// construction yields the same capacity function as applying each delta
+// through the insertion-based API, over randomized mutation sets.
+func TestBatchBuildMatchesIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		muts := randomMutations(r, r.Intn(60)+1)
+		inc := applyIncremental(t, muts)
+		bat := applyBatch(t, muts)
+		for _, at := range samplePoints(inc, bat) {
+			if g, w := bat.FreeAt(at), inc.FreeAt(at); g != w {
+				t.Fatalf("trial %d: FreeAt(%v) batch=%d incremental=%d\nbatch:       %v\nincremental: %v",
+					trial, at, g, w, bat, inc)
+			}
+		}
+		// Compact must preserve the capacity function too.
+		bat.Compact()
+		if err := bat.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: after Compact: %v", trial, err)
+		}
+		for _, at := range samplePoints(inc, bat) {
+			if g, w := bat.FreeAt(at), inc.FreeAt(at); g != w {
+				t.Fatalf("trial %d: FreeAt(%v) after Compact = %d, want %d", trial, at, g, w)
+			}
+		}
+	}
+}
+
+// TestFindSlotMatchesNaive checks the sweep search against the
+// per-candidate rescan reference over randomized profiles and queries,
+// including degenerate cores/duration/earliest values.
+func TestFindSlotMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		muts := randomMutations(r, r.Intn(40)+1)
+		p := applyIncremental(t, muts)
+		for q := 0; q < 30; q++ {
+			cores := r.Intn(200) - 10 // includes <= 0 and never-satisfiable
+			var dur sim.Duration
+			switch r.Intn(4) {
+			case 0:
+				dur = sim.Time(r.Intn(60)+1) * sim.Second
+			case 1:
+				dur = sim.Time(r.Intn(7_200)+1) * sim.Second
+			case 2:
+				dur = sim.Time(r.Intn(40_000)+1) * sim.Second
+			default:
+				dur = sim.Forever // run must extend forever
+			}
+			earliest := sim.Time(r.Intn(24_000)-2_000) * sim.Second
+			got := p.FindSlot(cores, dur, earliest)
+			want := naiveFindSlot(p, cores, dur, earliest)
+			if got != want {
+				t.Fatalf("trial %d: FindSlot(cores=%d dur=%v earliest=%v) = %v, want %v\nprofile: %v",
+					trial, cores, dur, earliest, got, want, p)
+			}
+		}
+	}
+}
+
+// TestCloneIntoMatchesClone checks the scratch-reusing clone against
+// the allocating one, including reuse of a previously larger buffer.
+func TestCloneIntoMatchesClone(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var scratch Profile
+	for trial := 0; trial < 50; trial++ {
+		p := applyIncremental(t, randomMutations(r, r.Intn(50)+1))
+		c := p.CloneInto(&scratch)
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := p.Clone()
+		ws, cs := want.Steps(), c.Steps()
+		if len(ws) != len(cs) {
+			t.Fatalf("trial %d: CloneInto %d steps, Clone %d", trial, len(cs), len(ws))
+		}
+		for i := range ws {
+			if ws[i] != cs[i] {
+				t.Fatalf("trial %d: step %d = %+v, want %+v", trial, i, cs[i], ws[i])
+			}
+		}
+		// Mutating the clone must not touch the original.
+		c.AddHold(0, sim.Hour, 1)
+		if p.FreeAt(0) == c.FreeAt(0) {
+			t.Fatalf("trial %d: CloneInto aliases the source", trial)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package profile
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// buildAdversarial constructs the FindSlot worst case: capacity
+// oscillates just above the requested size for n boundaries, then dips
+// below it once near the end. Every candidate start before the dip
+// passes the instantaneous capacity check but fails deep into its
+// window, so a per-candidate rescan degenerates to O(n²) while a
+// single forward sweep stays O(n).
+func buildAdversarial(n int) *Profile {
+	p := New(0, 49)
+	for i := 1; i <= n; i++ {
+		t := sim.Time(i) * sim.Minute
+		if i%2 == 1 {
+			p.AddRelease(t, -1)
+		} else {
+			p.AddRelease(t, 1)
+		}
+	}
+	dip := sim.Time(n+1) * sim.Minute
+	p.AddHold(dip, dip+sim.Minute, 49)
+	return p
+}
+
+// BenchmarkFindSlot sweeps profile sizes on two shapes: the adversarial
+// late-dip profile above and the mixed release/hold profile of a busy
+// system scaled up.
+func BenchmarkFindSlot(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000} {
+		n := n
+		b.Run(fmt.Sprintf("adversarial-%d", n), func(b *testing.B) {
+			p := buildAdversarial(n)
+			dur := sim.Duration(n+2) * sim.Minute
+			want := sim.Time(n+2) * sim.Minute
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := p.FindSlot(48, dur, 0); got != want {
+					b.Fatalf("FindSlot = %v, want %v", got, want)
+				}
+			}
+		})
+	}
+	for _, n := range []int{1000, 4000, 16000} {
+		n := n
+		b.Run(fmt.Sprintf("busy-%d", n), func(b *testing.B) {
+			p := New(0, 8)
+			for i := 0; i < n; i++ {
+				p.AddRelease(sim.Time(i+1)*sim.Minute, 3)
+			}
+			for i := 0; i < n/4; i++ {
+				start := sim.Time(i+2) * 4 * sim.Minute
+				p.AddHold(start, start+30*sim.Minute, 12)
+			}
+			need := 3*n/2 + 8 // reachable only late in the profile
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := p.FindSlot(need, sim.Hour, 0); got == 0 {
+					b.Fatal("unexpected immediate slot")
+				}
+			}
+		})
+	}
+}

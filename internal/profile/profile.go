@@ -26,6 +26,9 @@ type Step struct {
 // The zero value is not usable; call New.
 type Profile struct {
 	steps []Step
+	// mutations counts capacity edits since the last Compact, so
+	// repeated Compact calls on an unchanged profile are O(1).
+	mutations int
 }
 
 // New creates a profile with freeNow cores available from time now on.
@@ -36,9 +39,27 @@ func New(now sim.Time, freeNow int) *Profile {
 // Clone returns an independent copy; what-if planning (such as the
 // dynamic-fairness delay computation) mutates the copy only.
 func (p *Profile) Clone() *Profile {
-	c := &Profile{steps: make([]Step, len(p.steps))}
+	c := &Profile{steps: make([]Step, len(p.steps)), mutations: p.mutations}
 	copy(c.steps, p.steps)
 	return c
+}
+
+// CloneInto copies p into dst, reusing dst's step storage when it is
+// large enough. Hot paths that clone a base profile once per request
+// (the dynamic what-if overlay) keep a scratch Profile and pay zero
+// allocations after warm-up. A nil dst behaves like Clone.
+func (p *Profile) CloneInto(dst *Profile) *Profile {
+	if dst == nil {
+		return p.Clone()
+	}
+	if cap(dst.steps) < len(p.steps) {
+		dst.steps = make([]Step, len(p.steps))
+	} else {
+		dst.steps = dst.steps[:len(p.steps)]
+	}
+	copy(dst.steps, p.steps)
+	dst.mutations = p.mutations
+	return dst
 }
 
 // Steps returns a copy of the underlying steps, for inspection.
@@ -87,6 +108,7 @@ func (p *Profile) AddRelease(t sim.Time, cores int) {
 	if cores == 0 {
 		return
 	}
+	p.mutations++
 	i := p.ensureBoundary(t)
 	for ; i < len(p.steps); i++ {
 		p.steps[i].Free += cores
@@ -99,6 +121,7 @@ func (p *Profile) AddHold(start, end sim.Time, cores int) {
 	if cores == 0 || end <= start {
 		return
 	}
+	p.mutations++
 	i := p.ensureBoundary(start)
 	j := len(p.steps)
 	if end < sim.Forever {
@@ -129,6 +152,14 @@ func (p *Profile) MinFree(start, end sim.Time) int {
 // FindSlot returns the earliest time ≥ earliest at which cores cores
 // are continuously free for dur. It returns sim.Forever when no slot
 // exists (the profile's eventual capacity never reaches cores).
+//
+// The search is a single forward sweep: it tracks the start of the
+// current feasible run (the earliest instant from which capacity has
+// stayed ≥ cores) and returns it as soon as the run reaches dur. A
+// start strictly inside a feasible run can never beat the run's own
+// start — its window ends later and so contains every dip the run
+// start's window contains — so only run starts need to be considered,
+// and each step is visited once: O(n) for any query.
 func (p *Profile) FindSlot(cores int, dur sim.Duration, earliest sim.Time) sim.Time {
 	if cores <= 0 {
 		return earliest
@@ -136,38 +167,38 @@ func (p *Profile) FindSlot(cores int, dur sim.Duration, earliest sim.Time) sim.T
 	if earliest < p.Start() {
 		earliest = p.Start()
 	}
-	// Candidate start times: earliest itself plus every later step
-	// boundary (capacity only changes there).
-	if p.fits(earliest, cores, dur) {
-		return earliest
+	// i is the segment containing earliest.
+	i := sort.Search(len(p.steps), func(k int) bool { return p.steps[k].T > earliest }) - 1
+	var start sim.Time
+	ok := false
+	if p.steps[i].Free >= cores {
+		start, ok = earliest, true
 	}
-	i := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].T > earliest })
-	for ; i < len(p.steps); i++ {
-		t := p.steps[i].T
-		if p.fits(t, cores, dur) {
-			return t
+	for j := i + 1; j < len(p.steps); j++ {
+		if ok && satAdd(start, dur) <= p.steps[j].T {
+			return start
 		}
+		if p.steps[j].Free >= cores {
+			if !ok {
+				start, ok = p.steps[j].T, true
+			}
+		} else {
+			ok = false
+		}
+	}
+	if ok {
+		// The run extends through the final segment, i.e. forever.
+		return start
 	}
 	return sim.Forever
 }
 
-func (p *Profile) fits(start sim.Time, cores int, dur sim.Duration) bool {
-	var end sim.Time
-	if dur >= sim.Forever-start {
-		end = sim.Forever
-	} else {
-		end = start + dur
+// satAdd adds a duration to a time, saturating at Forever.
+func satAdd(t sim.Time, d sim.Duration) sim.Time {
+	if d >= sim.Forever-t {
+		return sim.Forever
 	}
-	if p.FreeAt(start) < cores {
-		return false
-	}
-	i := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].T > start })
-	for ; i < len(p.steps) && p.steps[i].T < end; i++ {
-		if p.steps[i].Free < cores {
-			return false
-		}
-	}
-	return true
+	return t + d
 }
 
 // String renders the profile for debugging: "[00:00:00→8 00:10:00→4]".
@@ -186,7 +217,13 @@ func (p *Profile) String() string {
 
 // Compact merges adjacent steps with identical capacity; planning
 // inserts many boundaries and long simulations benefit from trimming.
+// The scan is amortized: a Compact on a profile that has not been
+// mutated since the previous Compact returns immediately.
 func (p *Profile) Compact() {
+	if p.mutations == 0 {
+		return
+	}
+	p.mutations = 0
 	out := p.steps[:1]
 	for _, s := range p.steps[1:] {
 		if s.Free != out[len(out)-1].Free {
