@@ -1,0 +1,105 @@
+// Command schedlint runs the repo's custom static analyzers over Go
+// packages and reports violations of the determinism, locking and
+// protocol invariants the scheduler reproduction depends on:
+//
+//	nodeterminism  wall-clock / global-rand use in deterministic packages
+//	maporder       order-sensitive work inside range-over-map
+//	lockcheck      `// guarded by mu` discipline and Lock/Unlock pairing
+//	protoerr       dropped proto.Conn Send/Recv/Request/Close errors
+//
+// Usage:
+//
+//	go run ./cmd/schedlint [packages...]   (default: repro/...)
+//
+// Findings print as file:line:col: analyzer: message, and a non-zero
+// exit status makes the CI lint job fail. See DESIGN.md "Determinism &
+// static analysis" for the suppression directives each analyzer
+// honours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/loader"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/nodeterminism"
+	"repro/internal/analysis/protoerr"
+)
+
+var analyzers = []*analysis.Analyzer{
+	nodeterminism.Analyzer,
+	maporder.Analyzer,
+	lockcheck.Analyzer,
+	protoerr.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"repro/..."}
+	}
+	// ./... style patterns depend on the working directory; module-path
+	// patterns are resolved by go list either way.
+	for i, p := range patterns {
+		if p == "all" {
+			patterns[i] = "repro/..."
+		}
+	}
+
+	l := loader.New()
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlint:", err)
+		os.Exit(2)
+	}
+
+	broken := 0
+	var findings []analysis.Finding
+	for _, p := range pkgs {
+		// The analyzers' own golden-test fixtures intentionally violate
+		// every invariant; they are inputs, not code under analysis.
+		if strings.Contains(p.ImportPath, "/testdata/") {
+			continue
+		}
+		for _, e := range p.ParseErrors {
+			fmt.Fprintf(os.Stderr, "schedlint: %s: %v\n", p.ImportPath, e)
+			broken++
+		}
+		for _, e := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "schedlint: %s: %v\n", p.ImportPath, e)
+			broken++
+		}
+		if broken > 0 {
+			continue
+		}
+		fs, err := analysis.RunAnalyzers(p.Target(), analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "schedlint: %s: %v\n", p.ImportPath, err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	if broken > 0 {
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "schedlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,129 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis surface used by schedlint. The
+// container image has no module proxy access, so the framework is
+// built directly on the standard library's go/ast and go/types: an
+// Analyzer inspects one type-checked package at a time through a Pass
+// and reports position-tagged Diagnostics.
+//
+// Findings can be suppressed with repo-specific lint directives of the
+// form
+//
+//	//lint:<name> <reason>
+//
+// placed on the offending line, on the line directly above it, or in
+// the doc comment / declaration line of the enclosing function (which
+// suppresses the whole function body). A non-empty reason is
+// mandatory: the directive both silences the finding and documents why
+// the exception is sound. See directives.go for parsing and scope
+// rules.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in output ("nodeterminism").
+	Name string
+	// Doc is a one-paragraph description of what is flagged and why.
+	Doc string
+	// Directive is the suppression directive name honoured by this
+	// analyzer ("wallclock" → `//lint:wallclock <reason>`). Empty means
+	// findings cannot be suppressed.
+	Directive string
+	// Run inspects the package and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzed package into an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding. The driver filters suppressed
+	// diagnostics afterwards, so analyzers report unconditionally.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Unsuppressable findings survive a matching lint directive; used
+	// for "this directive is itself illegal here" reports.
+	Unsuppressable bool
+}
+
+// Reportf formats and reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a resolved diagnostic with its analyzer and position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Target is the per-package input the driver feeds each analyzer.
+type Target struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// RunAnalyzers applies every analyzer to the package, filters findings
+// through the lint directives in the source, and returns the surviving
+// findings sorted by position.
+func RunAnalyzers(t *Target, analyzers []*Analyzer) ([]Finding, error) {
+	sup := NewSuppressor(t.Fset, t.Files)
+	var out []Finding
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      t.Fset,
+			Files:     t.Files,
+			Pkg:       t.Pkg,
+			TypesInfo: t.TypesInfo,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			pos := t.Fset.Position(d.Pos)
+			if !d.Unsuppressable && a.Directive != "" && sup.Suppressed(a.Directive, pos) {
+				continue
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,130 @@
+// Package analysistest runs an analyzer over golden test packages and
+// checks its diagnostics against `// want` expectations, mirroring the
+// x/tools package of the same name on top of the repo's own loader.
+//
+// Test packages live under testdata/src/<importpath>/ and may import
+// each other GOPATH-style (and the standard library). Expected
+// findings are declared on the offending line:
+//
+//	time.Sleep(d) // want `wall-clock call`
+//
+// Every expectation is a regular expression that must match exactly
+// one diagnostic reported on that line, and every diagnostic must be
+// matched by an expectation. Suppression directives (`//lint:...`) are
+// applied before matching, so a test line carrying a directive and no
+// `want` asserts that the directive silences the finding.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/loader"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each package from testdata/src and applies the analyzer,
+// comparing findings against the package's want-comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := loader.New()
+	l.LocalRoot = filepath.Join(testdata, "src")
+	for _, path := range pkgpaths {
+		pkg, err := l.LoadPath(path)
+		if err != nil {
+			t.Errorf("load %s: %v", path, err)
+			continue
+		}
+		for _, e := range pkg.ParseErrors {
+			t.Errorf("%s: parse: %v", path, e)
+		}
+		for _, e := range pkg.TypeErrors {
+			t.Errorf("%s: type: %v", path, e)
+		}
+		findings, err := analysis.RunAnalyzers(pkg.Target(), []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("run %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		wants := collectWants(t, pkg)
+		for _, f := range findings {
+			key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+			if !consume(wants[key], f.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", key, f.Message)
+			}
+		}
+		for key, exps := range wants {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s: expected diagnostic matching %q, got none", key, e.re)
+				}
+			}
+		}
+	}
+}
+
+func consume(exps []*expectation, msg string) bool {
+	for _, e := range exps {
+		if !e.matched && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRe pulls the quoted patterns out of a want comment: both
+// `backquoted` and "double-quoted" forms are accepted.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func collectWants(t *testing.T, pkg *loader.Package) map[string][]*expectation {
+	t.Helper()
+	out := make(map[string][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range comments(cg) {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+					}
+					out[key] = append(out[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func comments(cg *ast.CommentGroup) []*ast.Comment { return cg.List }

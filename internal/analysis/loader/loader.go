@@ -1,0 +1,219 @@
+// Package loader type-checks Go packages from source using only the
+// standard library, providing the package inputs for schedlint's
+// analyzers. The build environment has no module proxy access, so the
+// usual golang.org/x/tools/go/packages stack is unavailable; instead:
+//
+//   - package patterns are expanded with `go list -json`,
+//   - packages inside the current module (or a GOPATH-style local
+//     root, used by analysistest) are parsed and type-checked here,
+//     yielding full ASTs and types.Info,
+//   - imports outside the module (the standard library) are delegated
+//     to go/importer's source importer, which type-checks them from
+//     GOROOT, entirely offline.
+//
+// Cgo is disabled for the whole process so that the pure-Go file sets
+// (netgo etc.) are selected everywhere, matching what the analyzers
+// can actually parse.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func init() {
+	// Select pure-Go file sets before any importer is constructed; the
+	// source importer captures &build.Default.
+	build.Default.CgoEnabled = false
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	// ParseErrors and TypeErrors collect problems without aborting the
+	// load; callers decide whether they are fatal.
+	ParseErrors []error
+	TypeErrors  []error
+}
+
+// Target adapts the package for analysis.RunAnalyzers.
+func (p *Package) Target() *analysis.Target {
+	return &analysis.Target{Fset: p.Fset, Files: p.Files, Pkg: p.Types, TypesInfo: p.TypesInfo}
+}
+
+// Loader loads and caches packages against one file set.
+type Loader struct {
+	Fset *token.FileSet
+	// LocalRoot, when set, resolves import paths GOPATH-style as
+	// LocalRoot/<import path> before consulting the module mapping.
+	// analysistest points it at a testdata/src directory.
+	LocalRoot string
+
+	modulePath string
+	moduleDir  string
+	std        types.ImporterFrom
+	pkgs       map[string]*Package
+	loading    map[string]bool
+}
+
+// New returns a loader rooted at the current module (if any).
+func New() *Loader {
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		std:     importer.ForCompiler(token.NewFileSet(), "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	if out, err := exec.Command("go", "list", "-m", "-json").Output(); err == nil {
+		var m struct{ Path, Dir string }
+		if json.Unmarshal(out, &m) == nil {
+			l.modulePath, l.moduleDir = m.Path, m.Dir
+		}
+	}
+	return l
+}
+
+// Load expands the patterns with `go list` and loads every matched
+// package.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var meta struct{ ImportPath, Dir string }
+		if err := dec.Decode(&meta); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		p, err := l.loadDir(meta.ImportPath, meta.Dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadPath loads a single import path resolved against LocalRoot / the
+// module.
+func (l *Loader) LoadPath(path string) (*Package, error) {
+	dir, ok := l.resolveDir(path)
+	if !ok {
+		return nil, fmt.Errorf("loader: cannot resolve %q locally", path)
+	}
+	return l.loadDir(path, dir)
+}
+
+func (l *Loader) resolveDir(path string) (string, bool) {
+	if l.LocalRoot != "" {
+		dir := filepath.Join(l.LocalRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+	}
+	if l.modulePath != "" {
+		if path == l.modulePath {
+			return l.moduleDir, true
+		}
+		if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+			return filepath.Join(l.moduleDir, filepath.FromSlash(rest)), true
+		}
+	}
+	return "", false
+}
+
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s: %v", path, err)
+	}
+	p := &Package{ImportPath: path, Dir: dir, Fset: l.Fset}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if f != nil {
+			files = append(files, f)
+		}
+		if err != nil {
+			p.ParseErrors = append(p.ParseErrors, err)
+		}
+	}
+	p.Files = files
+	p.TypesInfo = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:    (*loaderImporter)(l),
+		FakeImportC: true,
+		Error:       func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Types, _ = conf.Check(path, l.Fset, files, p.TypesInfo)
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// loaderImporter resolves imports during type checking: local packages
+// recurse into the loader, everything else goes to the stdlib source
+// importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.resolveDir(path); ok {
+		p, err := l.loadDir(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("loader: no types for %q", path)
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,82 @@
+// Package serverd is a golden-test stand-in for a daemon package with
+// a documented locking discipline.
+package serverd
+
+import "sync"
+
+type server struct {
+	mu   sync.RWMutex
+	jobs map[int]string // guarded by mu
+	// addr is set once in the constructor and read-only afterwards.
+	addr string
+}
+
+func newServer() *server {
+	// Composite-literal initialization happens before the server is
+	// shared: no lock needed, and no finding.
+	return &server{jobs: make(map[int]string), addr: "addr"}
+}
+
+func (s *server) good(id int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *server) goodRead(id int) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.jobs[id]
+}
+
+func (s *server) bad(id int) string {
+	return s.jobs[id] // want `access to s\.jobs \(guarded by mu\) in bad without s\.mu held`
+}
+
+func (s *server) lookupLocked(id int) string {
+	return s.jobs[id] // caller holds s.mu: *Locked convention
+}
+
+func (s *server) annotated(id int) string {
+	//lint:locked called only from the single-threaded boot path
+	return s.jobs[id]
+}
+
+func (s *server) unguardedIsFine() string {
+	return s.addr
+}
+
+func (s *server) leaky() {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) in leaky without a matching Unlock in the same function`
+	s.jobs[1] = "x"
+}
+
+func (s *server) rleaky() string {
+	s.mu.RLock() // want `s\.mu\.RLock\(\) in rleaky without a matching RUnlock in the same function`
+	return s.jobs[1]
+}
+
+func (s *server) multiPathUnlock(id int) string {
+	s.mu.Lock()
+	if id < 0 {
+		s.mu.Unlock()
+		return ""
+	}
+	v := s.jobs[id]
+	s.mu.Unlock()
+	return v
+}
+
+func (s *server) closureMustLockItself() {
+	go func() {
+		s.jobs[2] = "y" // want `access to s\.jobs \(guarded by mu\) in closureMustLockItself \(func literal\) without s\.mu held`
+	}()
+}
+
+func (s *server) closureLocksItself() {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.jobs[2] = "y"
+	}()
+}

@@ -1,0 +1,115 @@
+// Package a exercises the maporder analyzer: order-sensitive work
+// inside range-over-map with and without the sanctioned fixes.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map without a subsequent deterministic sort`
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func appendThenSortSlice(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func localPerIteration(m map[string][]int) []int {
+	var flat []int
+	for _, vs := range m {
+		flat = append(flat, vs...) // want `append to flat inside range over map`
+	}
+	return flat
+}
+
+func send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `send on channel inside range over map`
+	}
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside range over map writes output in random map order`
+	}
+}
+
+func buildString(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `b\.WriteString inside range over map writes output in random map order`
+	}
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floating-point accumulation into total`
+	}
+	return total
+}
+
+func intAccumIsFine(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func mapWritesAreFine(m map[string]int) {
+	for k, v := range m {
+		if v < 0 {
+			delete(m, k)
+		} else {
+			m[k] = v * 2
+		}
+	}
+}
+
+type sched struct{}
+
+func (s *sched) StartJob(id int) {}
+
+func decisions(s *sched, m map[int]bool) {
+	for id := range m {
+		s.StartJob(id) // want `scheduling decision s\.StartJob driven by range over map`
+	}
+}
+
+func rangeOverSliceIsFine(jobs []int, s *sched, ch chan int) {
+	var out []int
+	for _, j := range jobs {
+		out = append(out, j)
+		ch <- j
+		s.StartJob(j)
+	}
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:maporder consumer re-sorts before use
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package nodeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nodeterminism"
+)
+
+func TestNodeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nodeterminism.Analyzer, "core", "serverd")
+}

@@ -1,0 +1,32 @@
+// Package core is a golden-test stand-in for a sim-driven package:
+// wall-clock and global-rand calls are hard errors here and the
+// wallclock directive is itself rejected.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() time.Time {
+	t := time.Now()                    // want `wall-clock call time\.Now in sim-driven package core`
+	time.Sleep(time.Second)            // want `wall-clock call time\.Sleep in sim-driven package core`
+	_ = time.Since(t)                  // want `wall-clock call time\.Since in sim-driven package core`
+	_ = rand.Intn(4)                   // want `global math/rand\.Intn draws from the process-wide source`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle draws from the process-wide source`
+	return t
+}
+
+func seeded() int {
+	rng := rand.New(rand.NewSource(1)) // explicitly seeded: fine
+	return rng.Intn(4)
+}
+
+func conversionsAreFine(d time.Duration) float64 {
+	return d.Seconds() + float64(5*time.Millisecond)
+}
+
+//lint:wallclock not allowed here // want `//lint:wallclock is not allowed in sim-driven package core`
+func directiveRejected() {
+	time.Sleep(time.Millisecond) // want `wall-clock call time\.Sleep in sim-driven package core`
+}

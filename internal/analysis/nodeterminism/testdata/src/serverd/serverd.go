@@ -1,0 +1,32 @@
+// Package serverd is a golden-test stand-in for a live daemon
+// package: wall-clock calls are flagged but may be annotated with
+// //lint:wallclock when the path is genuinely wall-clock.
+package serverd
+
+import (
+	"math/rand"
+	"time"
+)
+
+func uptimeAllowed() time.Time {
+	return time.Now() //lint:wallclock daemon uptime is genuinely wall-clock
+}
+
+//lint:wallclock this whole helper services real TCP timeouts
+func timeoutHelper(d time.Duration) {
+	time.Sleep(d)
+	_ = time.Now()
+}
+
+func unannotated() {
+	time.Sleep(time.Millisecond)           // want `wall-clock call time\.Sleep; route through internal/clock`
+	time.AfterFunc(time.Second, func() {}) // want `wall-clock call time\.AfterFunc`
+}
+
+func globalRandStillFlagged() int {
+	return rand.Intn(4) // want `global math/rand\.Intn draws from the process-wide source`
+}
+
+func globalRandAnnotated() int {
+	return rand.Intn(4) //lint:wallclock jitter on a reconnect path, not sim-driven
+}

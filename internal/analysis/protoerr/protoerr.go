@@ -1,0 +1,114 @@
+// Package protoerr flags dropped errors on the wire-protocol type
+// proto.Conn. A lost Send/Recv/Request error means a daemon silently
+// desynchronizes from its peer — the connection is broken but the
+// state machine marches on. Specifically:
+//
+//   - calling Send/Recv/Request as a bare statement, under defer/go,
+//     or assigning the error result to the blank identifier, is
+//     reported;
+//   - calling Close as a bare statement (error ignored) on a
+//     connection is reported. `defer c.Close()` and the explicit
+//     `_ = c.Close()` are accepted: both acknowledge that the close
+//     error of an already-handled connection is uninteresting.
+//
+// Genuine fire-and-forget paths (best-effort replies on an already
+// failing connection, shutdown sweeps) are annotated with
+// `//lint:protoerr <reason>`.
+package protoerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the protoerr check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "protoerr",
+	Doc:       "flags dropped errors from proto.Conn Send/Recv/Request/Close",
+	Directive: "protoerr",
+	Run:       run,
+}
+
+// errResultIndex gives the position of the error result per method.
+var errResultIndex = map[string]int{
+	"Send": 0, "Recv": 1, "Request": 1, "Close": 0,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if name, ok := connCall(pass, n.X); ok {
+					pass.Reportf(n.Pos(), "proto.Conn.%s error dropped; handle it or annotate //lint:protoerr <reason>", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := connCall(pass, n.Call); ok && name != "Close" {
+					pass.Reportf(n.Pos(), "deferred proto.Conn.%s drops its error", name)
+				}
+				return false // don't re-visit the call as an expression
+			case *ast.GoStmt:
+				if name, ok := connCall(pass, n.Call); ok {
+					pass.Reportf(n.Pos(), "go proto.Conn.%s drops its error", name)
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	name, ok := connCall(pass, as.Rhs[0])
+	if !ok || name == "Close" {
+		// `_ = c.Close()` is the accepted explicit don't-care form.
+		return
+	}
+	idx := errResultIndex[name]
+	if idx >= len(as.Lhs) {
+		return
+	}
+	if id, ok := as.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(as.Pos(), "proto.Conn.%s error assigned to _; handle it or annotate //lint:protoerr <reason>", name)
+	}
+}
+
+// connCall reports whether expr is a method call of interest on a
+// value whose type is (a pointer to) proto.Conn.
+func connCall(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if _, tracked := errResultIndex[sel.Sel.Name]; !tracked {
+		return "", false
+	}
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Conn" || obj.Pkg() == nil || obj.Pkg().Name() != "proto" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

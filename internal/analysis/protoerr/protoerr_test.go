@@ -1,0 +1,12 @@
+package protoerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/protoerr"
+)
+
+func TestProtoerr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), protoerr.Analyzer, "a")
+}

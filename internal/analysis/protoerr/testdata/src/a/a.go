@@ -1,0 +1,56 @@
+// Package a exercises the protoerr analyzer.
+package a
+
+import "proto"
+
+func drops(c *proto.Conn) {
+	c.Send("x", nil)     // want `proto\.Conn\.Send error dropped`
+	_ = c.Send("x", nil) // want `proto\.Conn\.Send error assigned to _`
+	env, _ := c.Recv()   // want `proto\.Conn\.Recv error assigned to _`
+	_ = env
+	c.Close() // want `proto\.Conn\.Close error dropped`
+}
+
+func deferredCloseIsFine(c *proto.Conn) error {
+	defer c.Close()
+	_, err := c.Request("x", nil)
+	return err
+}
+
+func blankCloseIsFine(c *proto.Conn) {
+	_ = c.Close()
+}
+
+func deferredSendDrops(c *proto.Conn) {
+	defer c.Send("bye", nil) // want `deferred proto\.Conn\.Send drops its error`
+}
+
+func goSendDrops(c *proto.Conn) {
+	go c.Send("bye", nil) // want `go proto\.Conn\.Send drops its error`
+}
+
+func handled(c *proto.Conn) error {
+	if err := c.Send("x", nil); err != nil {
+		return err
+	}
+	env, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	_ = env
+	resp, err := c.Request("y", nil)
+	_ = resp
+	return err
+}
+
+func suppressed(c *proto.Conn) {
+	c.Send("bye", nil) //lint:protoerr best-effort farewell on an already-failing conn
+}
+
+type notProto struct{}
+
+func (notProto) Send(s string) error { return nil }
+
+func otherSendIsFine(n notProto) {
+	n.Send("x")
+}

@@ -1,0 +1,24 @@
+// Package proto is a golden-test stand-in for the repo's wire
+// protocol package: the analyzer matches the Conn type by name.
+package proto
+
+// MsgType tags an envelope.
+type MsgType string
+
+// Envelope frames a message.
+type Envelope struct{ Type MsgType }
+
+// Conn is a framed connection.
+type Conn struct{}
+
+// Send writes one frame.
+func (c *Conn) Send(t MsgType, payload any) error { return nil }
+
+// Recv reads one frame.
+func (c *Conn) Recv() (*Envelope, error) { return nil, nil }
+
+// Request sends and waits for the reply.
+func (c *Conn) Request(t MsgType, payload any) (*Envelope, error) { return nil, nil }
+
+// Close closes the connection.
+func (c *Conn) Close() error { return nil }

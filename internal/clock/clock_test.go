@@ -1,0 +1,72 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Unix(1_000_000, 0)
+
+func TestFakeNowAdvance(t *testing.T) {
+	f := NewFake(epoch)
+	if got := f.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+	f.Advance(3 * time.Second)
+	if got := f.Since(epoch); got != 3*time.Second {
+		t.Fatalf("Since(epoch) = %v, want 3s", got)
+	}
+}
+
+func TestFakeAfterFiresAtDeadline(t *testing.T) {
+	f := NewFake(epoch)
+	ch := f.After(10 * time.Second)
+	f.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before its deadline")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if want := epoch.Add(10 * time.Second); !at.Equal(want) {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("After did not fire at its deadline")
+	}
+}
+
+func TestFakeAfterNonPositiveFiresImmediately(t *testing.T) {
+	f := NewFake(epoch)
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestFakeSleepUnblocksOnAdvance(t *testing.T) {
+	f := NewFake(epoch)
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(5 * time.Second)
+		close(done)
+	}()
+	// The sleeper may not have registered yet; advancing repeatedly in
+	// small steps guarantees its deadline is eventually crossed.
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			f.Advance(time.Second)
+		}
+	}
+}
+
+func TestWallImplementsClock(t *testing.T) {
+	var _ Clock = Wall{}
+	var _ Clock = NewFake(epoch)
+}

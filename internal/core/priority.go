@@ -100,8 +100,16 @@ func (f *Fairshare) Advance(now sim.Time) {
 	for now >= f.intervalStart+f.interval {
 		f.intervalStart += f.interval
 		f.total = 0
-		for u, v := range f.usage {
-			nv := v * f.decay
+		// Decay in sorted-user order: float addition is not associative,
+		// so accumulating f.total in map order would make priorities
+		// differ in the last bits between same-seed runs.
+		users := make([]string, 0, len(f.usage))
+		for u := range f.usage {
+			users = append(users, u)
+		}
+		sort.Strings(users)
+		for _, u := range users {
+			nv := f.usage[u] * f.decay
 			if nv < 1e-9 {
 				delete(f.usage, u)
 				continue

@@ -79,6 +79,11 @@ type GenOpts struct {
 	TotalCores int
 	// Seed drives the deterministic submission-order shuffle.
 	Seed int64
+	// Rand, when non-nil, supplies the random stream instead of the
+	// default rand.New(rand.NewSource(Seed)). Callers that compose
+	// several generators on one stream inject it here; the default
+	// keeps the seed-to-workload mapping bit-identical across runs.
+	Rand *rand.Rand
 	// Dynamic enables the evolving behaviour of types F–J; when false
 	// the same jobs run statically (the paper's Static configuration).
 	Dynamic bool
@@ -193,7 +198,10 @@ func Generate(opts GenOpts) *Workload {
 	}
 
 	// Deterministic submission order.
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
 	rng.Shuffle(len(regular), func(i, k int) { regular[i], regular[k] = regular[k], regular[i] })
 
 	var last sim.Time

@@ -1,6 +1,7 @@
 package esp
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -96,6 +97,26 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 	if same {
 		t.Error("different seeds should shuffle differently")
+	}
+}
+
+// TestGenerateInjectedRand pins the bit-compatibility contract of
+// GenOpts.Rand: injecting rand.New(rand.NewSource(Seed)) must yield
+// exactly the stream the Seed field produces on its own, so existing
+// seed-keyed results (Table II) stay valid when callers move to
+// explicit injection.
+func TestGenerateInjectedRand(t *testing.T) {
+	def := Generate(DefaultOpts())
+	opts := DefaultOpts()
+	opts.Rand = rand.New(rand.NewSource(opts.Seed))
+	inj := Generate(opts)
+	if len(def.Items) != len(inj.Items) {
+		t.Fatalf("lengths differ: %d vs %d", len(def.Items), len(inj.Items))
+	}
+	for i := range def.Items {
+		if def.Items[i].Job.Name != inj.Items[i].Job.Name || def.Items[i].SubmitAt != inj.Items[i].SubmitAt {
+			t.Fatalf("item %d differs with injected same-seed Rand", i)
+		}
 	}
 }
 

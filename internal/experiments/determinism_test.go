@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"reflect"
+	"testing"
+
+	"repro/internal/esp"
+)
+
+// TestESPRunsAreBitIdentical is the end-to-end determinism guarantee
+// the nodeterminism/maporder analyzers exist to protect: running the
+// seed ESP scenario twice in one process must reproduce the full
+// decision trace, the schedule event log, and the Table II summary
+// byte for byte. Any wall-clock read, unsorted map iteration, or
+// order-dependent float accumulation on the scheduling path shows up
+// here as a diff between two same-seed runs.
+func TestESPRunsAreBitIdentical(t *testing.T) {
+	// Dyn-500 exercises the most machinery: dynamic requests, delay
+	// measurement, and the fairness bound.
+	cfg := StandardConfigs()[2]
+	a := RunESP(cfg, esp.DefaultOpts())
+	b := RunESP(cfg, esp.DefaultOpts())
+
+	if a.Iterations != b.Iterations {
+		t.Errorf("iteration counts differ: %d vs %d", a.Iterations, b.Iterations)
+	}
+	if a.GrantAttempts != b.GrantAttempts || a.GrantsSatisfied != b.GrantsSatisfied {
+		t.Errorf("grant traffic differs: %d/%d vs %d/%d",
+			a.GrantsSatisfied, a.GrantAttempts, b.GrantsSatisfied, b.GrantAttempts)
+	}
+	if len(a.Decisions) != len(b.Decisions) {
+		t.Fatalf("decision counts differ: %d vs %d", len(a.Decisions), len(b.Decisions))
+	}
+	for i := range a.Decisions {
+		if !reflect.DeepEqual(a.Decisions[i], b.Decisions[i]) {
+			t.Fatalf("decision %d differs:\n  run A: %+v\n  run B: %+v",
+				i, a.Decisions[i], b.Decisions[i])
+		}
+	}
+	if !reflect.DeepEqual(a.Summary, b.Summary) {
+		t.Errorf("summaries differ:\n  run A: %+v\n  run B: %+v", a.Summary, b.Summary)
+	}
+	ha, hb := sha256.Sum256([]byte(a.Trace.String())), sha256.Sum256([]byte(b.Trace.String()))
+	if ha != hb {
+		t.Errorf("trace logs differ: sha256 %x vs %x", ha, hb)
+	}
+}
+
+// TestTableIIIsBitIdentical runs the whole four-configuration Table II
+// comparison twice and requires byte-identical rendered output.
+func TestTableIIIsBitIdentical(t *testing.T) {
+	t1 := TableII(RunStandard(esp.DefaultOpts()))
+	t2 := TableII(RunStandard(esp.DefaultOpts()))
+	if t1 != t2 {
+		t.Errorf("Table II differs between same-seed runs:\n--- run A\n%s\n--- run B\n%s", t1, t2)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/mom"
 	"repro/internal/proto"
@@ -37,11 +38,17 @@ type Fig12Opts struct {
 	// Samples per point; the median-free mean of a few samples
 	// smooths scheduler-wakeup jitter.
 	Samples int
+	// Clock supplies the timestamps for latency measurement and
+	// timeouts. This package is sim-driven and must not touch the wall
+	// clock directly (enforced by schedlint's nodeterminism analyzer);
+	// the live benchmark injects clock.Wall here, tests a clock.Fake.
+	// Nil defaults to clock.Wall.
+	Clock clock.Clock
 }
 
 // DefaultFig12Opts mirrors the paper's setup.
 func DefaultFig12Opts() Fig12Opts {
-	return Fig12Opts{MaxNodes: 10, CoresPerNode: 8, QueuedJobs: 8, Samples: 3}
+	return Fig12Opts{MaxNodes: 10, CoresPerNode: 8, QueuedJobs: 8, Samples: 3, Clock: clock.Wall{}}
 }
 
 // RunFig12 measures the dynamic allocation overhead on the real TCP
@@ -59,6 +66,9 @@ func RunFig12(opts Fig12Opts) ([]OverheadPoint, error) {
 	}
 	if opts.Samples <= 0 {
 		opts.Samples = 1
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Wall{}
 	}
 	points := make([]OverheadPoint, opts.MaxNodes)
 	for n := 1; n <= opts.MaxNodes; n++ {
@@ -115,7 +125,7 @@ func fig12Sample(opts Fig12Opts, n, backlog int) (time.Duration, error) {
 		}
 		moms = append(moms, m)
 	}
-	if err := waitNodes(srv, n+1, 2*time.Second); err != nil {
+	if err := waitNodes(opts.Clock, srv, n+1, 2*time.Second); err != nil {
 		return 0, err
 	}
 
@@ -134,9 +144,9 @@ func fig12Sample(opts Fig12Opts, n, backlog int) (time.Duration, error) {
 		case <-ctx.Done():
 			return ctx.Err()
 		}
-		t0 := time.Now()
+		t0 := opts.Clock.Now()
 		hosts, err := tmc.DynGetNodes(n, opts.CoresPerNode)
-		lat := time.Since(t0)
+		lat := opts.Clock.Since(t0)
 		if err != nil {
 			resCh <- result{0, err}
 			return err
@@ -153,7 +163,7 @@ func fig12Sample(opts Fig12Opts, n, backlog int) (time.Duration, error) {
 	}
 	select {
 	case <-started:
-	case <-time.After(10 * time.Second):
+	case <-opts.Clock.After(10 * time.Second):
 		return 0, fmt.Errorf("fig12 probe never started")
 	}
 
@@ -174,18 +184,18 @@ func fig12Sample(opts Fig12Opts, n, backlog int) (time.Duration, error) {
 	select {
 	case r := <-resCh:
 		return r.lat, r.err
-	case <-time.After(30 * time.Second):
+	case <-opts.Clock.After(30 * time.Second):
 		return 0, fmt.Errorf("fig12 probe timed out")
 	}
 }
 
-func waitNodes(srv *serverd.Server, n int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+func waitNodes(clk clock.Clock, srv *serverd.Server, n int, timeout time.Duration) error {
+	deadline := clk.Now().Add(timeout)
+	for clk.Now().Before(deadline) {
 		if len(srv.QStat().Nodes) >= n {
 			return nil
 		}
-		time.Sleep(5 * time.Millisecond)
+		clk.Sleep(5 * time.Millisecond)
 	}
 	return fmt.Errorf("only %d of %d moms registered", len(srv.QStat().Nodes), n)
 }

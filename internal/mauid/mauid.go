@@ -51,7 +51,7 @@ func (d *Daemon) Scheduler() *core.Scheduler { return d.sched }
 func (d *Daemon) Start() {
 	go func() {
 		defer close(d.done)
-		t := time.NewTicker(d.interval)
+		t := time.NewTicker(d.interval) //lint:wallclock the external scheduler polls the server in real time
 		defer t.Stop()
 		for {
 			select {

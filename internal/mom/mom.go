@@ -16,6 +16,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -73,7 +74,7 @@ type Mom struct {
 	srv *proto.Conn
 
 	mu   sync.Mutex
-	jobs map[int]*momJob
+	jobs map[int]*momJob // guarded by mu
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -116,7 +117,7 @@ func (m *Mom) Start(listenAddr, srvAddr string) error {
 		Node: m.name, Addr: ln.Addr().String(), Cores: m.cores,
 	}); err != nil {
 		ln.Close()
-		srv.Close()
+		_ = srv.Close()
 		return fmt.Errorf("mom %s: register: %w", m.name, err)
 	}
 	m.wg.Add(2)
@@ -137,7 +138,7 @@ func (m *Mom) Close() {
 		m.ln.Close()
 	}
 	if m.srv != nil {
-		m.srv.Close()
+		_ = m.srv.Close()
 	}
 	m.mu.Lock()
 	for _, j := range m.jobs {
@@ -152,6 +153,27 @@ func (m *Mom) Close() {
 func (m *Mom) logf(format string, args ...any) {
 	if m.Verbose {
 		fmt.Fprintf(os.Stderr, "mom[%s] "+format+"\n", append([]any{m.name}, args...)...)
+	}
+}
+
+// reply delivers a best-effort response on a transient per-request
+// connection and closes it. The peer vanishing mid-reply is routine
+// for a daemon, so failures are logged rather than propagated.
+func (m *Mom) reply(c *proto.Conn, t proto.MsgType, payload any) {
+	if err := c.Send(t, payload); err != nil {
+		m.logf("reply %s: %v", t, err)
+	}
+	if err := c.Close(); err != nil {
+		m.logf("close after %s: %v", t, err)
+	}
+}
+
+// tellServer sends one message on the persistent server link. A send
+// failure is logged; the serverLoop Recv error is what actually tears
+// the link down, so no state is unwound here.
+func (m *Mom) tellServer(t proto.MsgType, payload any) {
+	if err := m.srv.Send(t, payload); err != nil {
+		m.logf("server send %s: %v", t, err)
 	}
 }
 
@@ -176,7 +198,7 @@ func (m *Mom) serveLoop() {
 func (m *Mom) handleConn(c *proto.Conn) {
 	env, err := c.Recv()
 	if err != nil {
-		c.Close()
+		_ = c.Close()
 		return
 	}
 	switch env.Type {
@@ -201,36 +223,31 @@ func (m *Mom) handleConn(c *proto.Conn) {
 			m.tmFail(c, err.Error())
 			return
 		}
-		_ = m.srv.Send(proto.TJobDone, proto.JobDoneReq{JobID: req.JobID, Error: req.Error})
-		_ = c.Send(proto.TTMResp, proto.TMResp{OK: true})
-		c.Close()
+		m.tellServer(proto.TJobDone, proto.JobDoneReq{JobID: req.JobID, Error: req.Error})
+		m.reply(c, proto.TTMResp, proto.TMResp{OK: true})
 	case proto.TJoin, proto.TDynJoin:
 		var req proto.JoinReq
 		if err := env.Decode(&req); err == nil {
 			m.handleJoin(req, env.Type == proto.TDynJoin)
-			_ = c.Send(proto.TOK, nil)
+			m.reply(c, proto.TOK, nil)
 		} else {
-			_ = c.Send(proto.TError, proto.ErrorResp{Error: err.Error()})
+			m.reply(c, proto.TError, proto.ErrorResp{Error: err.Error()})
 		}
-		c.Close()
 	case proto.TDynDisjoin:
 		var req proto.JoinReq
 		if err := env.Decode(&req); err == nil {
 			m.handleDisjoin(req)
-			_ = c.Send(proto.TOK, nil)
+			m.reply(c, proto.TOK, nil)
 		} else {
-			_ = c.Send(proto.TError, proto.ErrorResp{Error: err.Error()})
+			m.reply(c, proto.TError, proto.ErrorResp{Error: err.Error()})
 		}
-		c.Close()
 	default:
-		_ = c.Send(proto.TError, proto.ErrorResp{Error: fmt.Sprintf("unexpected %s", env.Type)})
-		c.Close()
+		m.reply(c, proto.TError, proto.ErrorResp{Error: fmt.Sprintf("unexpected %s", env.Type)})
 	}
 }
 
 func (m *Mom) tmFail(c *proto.Conn, reason string) {
-	_ = c.Send(proto.TTMResp, proto.TMResp{OK: false, Reason: reason})
-	c.Close()
+	m.reply(c, proto.TTMResp, proto.TMResp{OK: false, Reason: reason})
 }
 
 // handleTMDynGet forwards the request to the server through this mom
@@ -292,8 +309,7 @@ func (m *Mom) handleTMDynFree(c *proto.Conn, req proto.TMDynFreeReq) {
 		return
 	}
 	// tm_dynfree "usually returns true" (§III-B).
-	_ = c.Send(proto.TTMResp, proto.TMResp{OK: true})
-	c.Close()
+	m.reply(c, proto.TTMResp, proto.TMResp{OK: true})
 }
 
 // handleJoin records a job this node now participates in.
@@ -431,7 +447,7 @@ func (m *Mom) runJob(req proto.RunJobReq) {
 			if err != nil {
 				done.Error = err.Error()
 			}
-			_ = m.srv.Send(proto.TJobDone, done)
+			m.tellServer(proto.TJobDone, done)
 		}
 	}()
 }
@@ -446,7 +462,7 @@ func (m *Mom) launch(ctx context.Context, script string, tmc *tm.Context) error 
 			return fmt.Errorf("mom: bad sleep script %q: %v", script, err)
 		}
 		select {
-		case <-time.After(d):
+		case <-time.After(d): //lint:wallclock sleep-script jobs model application runtime with a real delay
 			return nil
 		case <-ctx.Done():
 			return ctx.Err()
@@ -491,8 +507,7 @@ func (m *Mom) killJob(id int) {
 		j.cancel()
 	}
 	if j.pendingTM != nil {
-		_ = j.pendingTM.Send(proto.TTMResp, proto.TMResp{OK: false, Reason: "job killed"})
-		j.pendingTM.Close()
+		m.reply(j.pendingTM, proto.TTMResp, proto.TMResp{OK: false, Reason: "job killed"})
 	}
 }
 
@@ -522,8 +537,7 @@ func (m *Mom) handleDynGetResp(resp proto.DynGetResp) {
 	if parked == nil {
 		return
 	}
-	_ = parked.Send(proto.TTMResp, proto.TMResp{OK: resp.Granted, Reason: resp.Reason, Hosts: resp.Hosts})
-	parked.Close()
+	m.reply(parked, proto.TTMResp, proto.TMResp{OK: resp.Granted, Reason: resp.Reason, Hosts: resp.Hosts})
 }
 
 // Jobs returns the ids of jobs this mom currently participates in.
@@ -534,5 +548,6 @@ func (m *Mom) Jobs() []int {
 	for id := range m.jobs {
 		out = append(out, id)
 	}
+	sort.Ints(out)
 	return out
 }

@@ -12,6 +12,7 @@ package rms
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/cluster"
@@ -377,11 +378,7 @@ func (s *Server) ActiveJobs() []*job.Job {
 		out = append(out, j)
 	}
 	// Deterministic order for reproducible planning.
-	for i := 1; i < len(out); i++ {
-		for k := i; k > 0 && out[k].ID < out[k-1].ID; k-- {
-			out[k], out[k-1] = out[k-1], out[k]
-		}
-	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	return out
 }
 

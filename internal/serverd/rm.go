@@ -18,14 +18,20 @@ type serverRM Server
 func (r *serverRM) s() *Server { return (*Server)(r) }
 
 // Cluster returns the live cluster mirror.
+//
+//lint:locked serverRM methods run with s.mu held (schedLoop, applyCommit, dynGet)
 func (r *serverRM) Cluster() *cluster.Cluster { return r.cl }
 
 // QueuedJobs returns the queued jobs in submission order.
+//
+//lint:locked serverRM methods run with s.mu held (schedLoop, applyCommit, dynGet)
 func (r *serverRM) QueuedJobs() []*job.Job {
 	return append([]*job.Job(nil), r.queued...)
 }
 
 // ActiveJobs returns running/dynqueued jobs in ID order.
+//
+//lint:locked serverRM methods run with s.mu held (schedLoop, applyCommit, dynGet)
 func (r *serverRM) ActiveJobs() []*job.Job {
 	out := make([]*job.Job, 0, len(r.active))
 	for _, j := range r.active {
@@ -36,11 +42,15 @@ func (r *serverRM) ActiveJobs() []*job.Job {
 }
 
 // DynRequests returns the pending dynamic requests in FIFO order.
+//
+//lint:locked serverRM methods run with s.mu held (schedLoop, applyCommit, dynGet)
 func (r *serverRM) DynRequests() []*job.DynRequest {
 	return append([]*job.DynRequest(nil), r.dyn...)
 }
 
 // hostsOf renders an allocation as host slices with mom addresses.
+//
+//lint:locked serverRM methods run with s.mu held (schedLoop, applyCommit, dynGet)
 func (r *serverRM) hostsOf(alloc cluster.Alloc) []proto.HostSlice {
 	out := make([]proto.HostSlice, 0, len(alloc))
 	for _, sl := range alloc {
@@ -55,6 +65,8 @@ func (r *serverRM) hostsOf(alloc cluster.Alloc) []proto.HostSlice {
 
 // StartJob allocates resources and dispatches the job to its mother
 // superior (the first allocated host).
+//
+//lint:locked serverRM methods run with s.mu held (schedLoop, applyCommit, dynGet)
 func (r *serverRM) StartJob(j *job.Job) (cluster.Alloc, error) {
 	s := r.s()
 	ji, ok := s.jobs[int(j.ID)]
@@ -92,10 +104,11 @@ func (r *serverRM) StartJob(j *job.Job) (cluster.Alloc, error) {
 	ji.hosts = hosts
 	ji.msNode = hosts[0].Node
 	s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
-	s.bump()
+	s.bumpLocked()
 	// Walltime enforcement.
 	wall := sim.ToReal(j.Walltime)
 	id := int(j.ID)
+	//lint:wallclock walltime limits are enforced in real time on the live daemon
 	ji.killTimer = time.AfterFunc(wall, func() {
 		s.mu.Lock()
 		if info, ok := s.jobs[id]; ok && info.j.Active() {
@@ -119,6 +132,8 @@ func (r *serverRM) StartJob(j *job.Job) (cluster.Alloc, error) {
 
 // GrantDyn expands the job and answers the parked tm_dynget through
 // the mother superior (Fig. 3 steps 5–7).
+//
+//lint:locked serverRM methods run with s.mu held (schedLoop, applyCommit, dynGet)
 func (r *serverRM) GrantDyn(req *job.DynRequest) (cluster.Alloc, error) {
 	s := r.s()
 	ji, ok := s.jobs[int(req.Job.ID)]
@@ -144,34 +159,33 @@ func (r *serverRM) GrantDyn(req *job.DynRequest) (cluster.Alloc, error) {
 	ji.hosts = append(ji.hosts, hosts...)
 	s.dropDynLocked(int(req.Job.ID))
 	s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
-	s.bump()
-	if ms := s.nodes[ji.msNode]; ms != nil && ms.conn != nil {
-		_ = ms.conn.Send(proto.TDynGetResp, proto.DynGetResp{
-			JobID: int(req.Job.ID), Granted: true, Hosts: hosts,
-		})
-	}
+	s.bumpLocked()
+	s.sendMomLocked(s.nodes[ji.msNode], proto.TDynGetResp, proto.DynGetResp{
+		JobID: int(req.Job.ID), Granted: true, Hosts: hosts,
+	})
 	s.logf("dyn grant job=%d +%d cores", req.Job.ID, req.TotalCores())
 	return alloc, nil
 }
 
 // RejectDyn answers the parked tm_dynget negatively.
+//
+//lint:locked serverRM methods run with s.mu held (schedLoop, applyCommit, dynGet)
 func (r *serverRM) RejectDyn(req *job.DynRequest, reason string) {
 	s := r.s()
 	req.Job.State = job.Running
 	s.dropDynLocked(int(req.Job.ID))
-	s.bump()
-	ji := s.jobs[int(req.Job.ID)]
-	if ji != nil {
-		if ms := s.nodes[ji.msNode]; ms != nil && ms.conn != nil {
-			_ = ms.conn.Send(proto.TDynGetResp, proto.DynGetResp{
-				JobID: int(req.Job.ID), Granted: false, Reason: reason,
-			})
-		}
+	s.bumpLocked()
+	if ji := s.jobs[int(req.Job.ID)]; ji != nil {
+		s.sendMomLocked(s.nodes[ji.msNode], proto.TDynGetResp, proto.DynGetResp{
+			JobID: int(req.Job.ID), Granted: false, Reason: reason,
+		})
 	}
 	s.logf("dyn reject job=%d: %s", req.Job.ID, reason)
 }
 
 // Preempt kills a running job on its mom and requeues it.
+//
+//lint:locked serverRM methods run with s.mu held (schedLoop, applyCommit, dynGet)
 func (r *serverRM) Preempt(j *job.Job) error {
 	s := r.s()
 	ji, ok := s.jobs[int(j.ID)]
@@ -184,9 +198,7 @@ func (r *serverRM) Preempt(j *job.Job) error {
 	if ji.killTimer != nil {
 		ji.killTimer.Stop()
 	}
-	if ms := s.nodes[ji.msNode]; ms != nil && ms.conn != nil {
-		_ = ms.conn.Send(proto.TKillJob, proto.KillJobReq{JobID: int(j.ID)})
-	}
+	s.sendMomLocked(s.nodes[ji.msNode], proto.TKillJob, proto.KillJobReq{JobID: int(j.ID)})
 	j.State = job.Queued
 	j.StartTime = 0
 	j.DynCores = 0
@@ -195,7 +207,7 @@ func (r *serverRM) Preempt(j *job.Job) error {
 	ji.msNode = ""
 	s.queued = append(s.queued, j)
 	s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
-	s.bump()
+	s.bumpLocked()
 	s.logf("job %d preempted and requeued", j.ID)
 	return nil
 }

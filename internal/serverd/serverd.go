@@ -64,17 +64,17 @@ type Server struct {
 	start time.Time
 
 	mu       sync.Mutex
-	cl       *cluster.Cluster
-	nodes    map[string]*nodeInfo // by node name
-	nodeByID map[int]*nodeInfo
-	jobs     map[int]*jobInfo
-	queued   []*job.Job
-	active   map[int]*job.Job
-	dyn      []*job.DynRequest
-	dynSeq   int
-	nextID   int
-	serial   uint64
-	rec      *metrics.Recorder
+	cl       *cluster.Cluster     // guarded by mu
+	nodes    map[string]*nodeInfo // by node name; guarded by mu
+	nodeByID map[int]*nodeInfo    // guarded by mu
+	jobs     map[int]*jobInfo     // guarded by mu
+	queued   []*job.Job           // guarded by mu
+	active   map[int]*job.Job     // guarded by mu
+	dyn      []*job.DynRequest    // guarded by mu
+	dynSeq   int                  // guarded by mu
+	nextID   int                  // guarded by mu
+	serial   uint64               // guarded by mu
+	rec      *metrics.Recorder    // guarded by mu
 
 	kick   chan struct{}
 	closed chan struct{}
@@ -107,7 +107,7 @@ func (s *Server) Start(addr string) error {
 		return err
 	}
 	s.ln = ln
-	s.start = time.Now()
+	s.start = time.Now() //lint:wallclock anchors the daemon's virtual clock at startup
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if s.opts.Sched != nil {
@@ -139,7 +139,7 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	for _, n := range s.nodes {
 		if n.conn != nil {
-			n.conn.Close()
+			_ = n.conn.Close()
 		}
 	}
 	for _, ji := range s.jobs {
@@ -153,6 +153,8 @@ func (s *Server) Close() {
 
 // now returns the virtual-time view of the wall clock: milliseconds
 // since server start, which is what the shared scheduler core plans in.
+//
+//lint:wallclock the daemon's virtual time is real time elapsed since Start
 func (s *Server) now() sim.Time { return sim.FromReal(time.Since(s.start)) }
 
 func (s *Server) logf(format string, args ...any) {
@@ -169,7 +171,32 @@ func (s *Server) Kick() {
 	}
 }
 
-func (s *Server) bump() { s.serial++ }
+// bumpLocked advances the snapshot serial. Caller holds s.mu.
+func (s *Server) bumpLocked() { s.serial++ }
+
+// reply delivers a best-effort response on a transient client
+// connection and closes it; a qsub/qstat client vanishing mid-reply
+// is routine, so failures are logged rather than propagated.
+func (s *Server) reply(c *proto.Conn, t proto.MsgType, payload any) {
+	if err := c.Send(t, payload); err != nil {
+		s.logf("reply %s: %v", t, err)
+	}
+	if err := c.Close(); err != nil {
+		s.logf("close after %s: %v", t, err)
+	}
+}
+
+// sendMomLocked ships one message to a registered mom's persistent
+// link, logging failures; the registerMom Recv loop owns link teardown.
+// Caller holds s.mu.
+func (s *Server) sendMomLocked(ni *nodeInfo, t proto.MsgType, payload any) {
+	if ni == nil || ni.conn == nil {
+		return
+	}
+	if err := ni.conn.Send(t, payload); err != nil {
+		s.logf("mom %s send %s: %v", ni.node.Name, t, err)
+	}
+}
 
 // acceptLoop classifies inbound connections by their first message.
 func (s *Server) acceptLoop() {
@@ -190,54 +217,48 @@ func (s *Server) acceptLoop() {
 func (s *Server) handleConn(c *proto.Conn) {
 	env, err := c.Recv()
 	if err != nil {
-		c.Close()
+		_ = c.Close()
 		return
 	}
 	switch env.Type {
 	case proto.TRegister:
 		var req proto.RegisterReq
 		if err := env.Decode(&req); err != nil {
-			c.Close()
+			_ = c.Close()
 			return
 		}
 		s.registerMom(c, req) // takes ownership, runs the mom read loop
 	case proto.TQSub:
 		var spec proto.JobSpec
 		if err := env.Decode(&spec); err != nil {
-			_ = c.Send(proto.TQSubResp, proto.QSubResp{Error: err.Error()})
+			s.reply(c, proto.TQSubResp, proto.QSubResp{Error: err.Error()})
 		} else {
 			id, err := s.QSub(spec)
 			resp := proto.QSubResp{JobID: id}
 			if err != nil {
 				resp.Error = err.Error()
 			}
-			_ = c.Send(proto.TQSubResp, resp)
+			s.reply(c, proto.TQSubResp, resp)
 		}
-		c.Close()
 	case proto.TQStat:
-		_ = c.Send(proto.TQStatResp, s.QStat())
-		c.Close()
+		s.reply(c, proto.TQStatResp, s.QStat())
 	case proto.TQDel:
 		var req proto.QDelReq
 		if err := env.Decode(&req); err == nil {
 			s.QDel(req.JobID)
 		}
-		_ = c.Send(proto.TOK, nil)
-		c.Close()
+		s.reply(c, proto.TOK, nil)
 	case proto.TSchedPull:
-		_ = c.Send(proto.TSchedState, s.snapshot())
-		c.Close()
+		s.reply(c, proto.TSchedState, s.snapshot())
 	case proto.TSchedCommit:
 		var commit proto.SchedCommit
 		resp := proto.SchedCommitResp{}
 		if err := env.Decode(&commit); err == nil {
 			resp = s.applyCommit(commit)
 		}
-		_ = c.Send(proto.TOK, resp)
-		c.Close()
+		s.reply(c, proto.TOK, resp)
 	default:
-		_ = c.Send(proto.TError, proto.ErrorResp{Error: fmt.Sprintf("unexpected %s", env.Type)})
-		c.Close()
+		s.reply(c, proto.TError, proto.ErrorResp{Error: fmt.Sprintf("unexpected %s", env.Type)})
 	}
 }
 
@@ -256,7 +277,7 @@ func (s *Server) registerMom(c *proto.Conn, req proto.RegisterReq) {
 		s.nodes[req.Node] = ni
 		s.nodeByID[n.ID] = ni
 		s.rec = metrics.NewRecorder(s.cl.TotalCores())
-		s.bump()
+		s.bumpLocked()
 		s.mu.Unlock()
 		s.logf("mom %s registered: %d cores at %s", req.Node, req.Cores, req.Addr)
 	}
@@ -321,7 +342,7 @@ func (s *Server) QSub(spec proto.JobSpec) (int, error) {
 	s.jobs[id] = &jobInfo{j: j, spec: spec}
 	s.queued = append(s.queued, j)
 	s.rec.ObserveSubmit(j.SubmitTime)
-	s.bump()
+	s.bumpLocked()
 	s.mu.Unlock()
 	s.logf("qsub job=%d user=%s cores=%d wall=%ds", id, spec.User, cores, spec.WallSecs)
 	s.Kick()
@@ -387,9 +408,7 @@ func (s *Server) killLocked(ji *jobInfo, why string) {
 		s.dropDynLocked(int(j.ID))
 		s.cl.Release(j.ID)
 		delete(s.active, int(j.ID))
-		if ms, ok := s.nodes[ji.msNode]; ok && ms.conn != nil {
-			_ = ms.conn.Send(proto.TKillJob, proto.KillJobReq{JobID: int(j.ID)})
-		}
+		s.sendMomLocked(s.nodes[ji.msNode], proto.TKillJob, proto.KillJobReq{JobID: int(j.ID)})
 		s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
 	default:
 		return
@@ -399,7 +418,7 @@ func (s *Server) killLocked(ji *jobInfo, why string) {
 	}
 	j.State = job.Cancelled
 	j.EndTime = s.now()
-	s.bump()
+	s.bumpLocked()
 	s.logf("job %d killed (%s)", j.ID, why)
 }
 
@@ -440,7 +459,7 @@ func (s *Server) jobDone(done proto.JobDoneReq) {
 		s.opts.Sched.Fairshare().Record(j.Cred.User,
 			float64(j.TotalCores())*sim.SecondsOf(j.EndTime-j.StartTime))
 	}
-	s.bump()
+	s.bumpLocked()
 	s.mu.Unlock()
 	s.logf("job %d done", done.JobID)
 	s.Kick()
@@ -473,12 +492,13 @@ func (s *Server) dynGet(req proto.DynGetReq) {
 	s.dynSeq++
 	ji.j.State = job.DynQueued
 	s.dyn = append(s.dyn, r)
-	s.bump()
+	s.bumpLocked()
 	s.mu.Unlock()
 	s.logf("dynget queued job=%d timeout=%ds", req.JobID, req.TimeoutSecs)
 	if req.TimeoutSecs > 0 {
 		// Negotiation deadline: if the request is still pending when
 		// it expires, deliver the final rejection ourselves.
+		//lint:wallclock negotiation deadlines are real protocol timeouts
 		time.AfterFunc(time.Duration(req.TimeoutSecs)*time.Second, func() {
 			s.mu.Lock()
 			pending := s.findDynLocked(req.JobID) == r
@@ -503,7 +523,9 @@ func (s *Server) answerDyn(jobID int, resp proto.DynGetResp) {
 	}
 	s.mu.Unlock()
 	if conn != nil {
-		_ = conn.Send(proto.TDynGetResp, resp)
+		if err := conn.Send(proto.TDynGetResp, resp); err != nil {
+			s.logf("dynget answer job=%d: %v", jobID, err)
+		}
 	}
 }
 
@@ -535,7 +557,7 @@ func (s *Server) dynFree(req proto.DynFreeReq) {
 	}
 	ji.hosts = subtractHostSlices(ji.hosts, req.Hosts)
 	s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
-	s.bump()
+	s.bumpLocked()
 	s.mu.Unlock()
 	s.logf("dynfree job=%d released %d cores", req.JobID, released)
 	s.Kick()
@@ -565,7 +587,7 @@ func subtractHostSlices(have, remove []proto.HostSlice) []proto.HostSlice {
 // the poll interval as an idle backstop (Maui's timer-driven wakeup).
 func (s *Server) schedLoop() {
 	defer s.wg.Done()
-	t := time.NewTicker(s.opts.PollInterval)
+	t := time.NewTicker(s.opts.PollInterval) //lint:wallclock idle backstop for the kick-driven scheduler
 	defer t.Stop()
 	for {
 		select {

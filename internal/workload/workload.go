@@ -19,6 +19,10 @@ import (
 type Spec struct {
 	Jobs int
 	Seed int64
+	// Rand, when non-nil, supplies the random stream instead of the
+	// default rand.New(rand.NewSource(Seed)). The default keeps the
+	// seed-to-workload mapping bit-identical across runs.
+	Rand *rand.Rand
 	// TotalCores is the target system size; per-job sizes are drawn
 	// from a log-uniform distribution in [1, MaxJobFrac·TotalCores].
 	TotalCores int
@@ -83,7 +87,10 @@ func Generate(spec Spec) []Item {
 	if spec.Users <= 0 {
 		spec.Users = 8
 	}
-	rng := rand.New(rand.NewSource(spec.Seed))
+	rng := spec.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(spec.Seed))
+	}
 	maxCores := int(spec.MaxJobFrac * float64(spec.TotalCores))
 	if maxCores < 1 {
 		maxCores = 1

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/cluster"
@@ -23,6 +24,26 @@ func TestGenerateDeterministic(t *testing.T) {
 		if a[i].Job.Name != b[i].Job.Name || a[i].Job.Cores != b[i].Job.Cores ||
 			a[i].SubmitAt != b[i].SubmitAt || a[i].Job.Class != b[i].Job.Class {
 			t.Fatalf("item %d differs", i)
+		}
+	}
+}
+
+// TestGenerateInjectedRand pins the bit-compatibility contract of
+// Spec.Rand: injecting rand.New(rand.NewSource(Seed)) must yield
+// exactly the stream the Seed field produces on its own.
+func TestGenerateInjectedRand(t *testing.T) {
+	def := Generate(DefaultSpec())
+	spec := DefaultSpec()
+	spec.Rand = rand.New(rand.NewSource(spec.Seed))
+	inj := Generate(spec)
+	if len(def) != len(inj) {
+		t.Fatalf("lengths differ: %d vs %d", len(def), len(inj))
+	}
+	for i := range def {
+		if def[i].Job.Name != inj[i].Job.Name || def[i].Job.Cores != inj[i].Job.Cores ||
+			def[i].SubmitAt != inj[i].SubmitAt || def[i].Job.Class != inj[i].Job.Class ||
+			def[i].Job.Walltime != inj[i].Job.Walltime {
+			t.Fatalf("item %d differs with injected same-seed Rand", i)
 		}
 	}
 }
