@@ -18,16 +18,22 @@ import (
 
 func main() {
 	var (
-		name    = flag.String("name", "node0", "node name")
-		cores   = flag.Int("cores", 8, "cores on this node")
-		server  = flag.String("server", "127.0.0.1:15001", "pbs-server address")
-		listen  = flag.String("listen", "127.0.0.1:0", "TM/join listen address")
-		verbose = flag.Bool("v", false, "verbose logging")
+		name      = flag.String("name", "node0", "node name")
+		cores     = flag.Int("cores", 8, "cores on this node")
+		server    = flag.String("server", "127.0.0.1:15001", "pbs-server address")
+		listen    = flag.String("listen", "127.0.0.1:0", "TM/join listen address")
+		heartbeat = flag.Duration("heartbeat", 0, "liveness beacon interval on the server link (0 disables; pair with the server's -heartbeat)")
+		reconnect = flag.Bool("reconnect", true, "re-dial and re-register with backoff when the server link drops")
+		handshake = flag.Duration("handshake-timeout", 0, "deadline for an inbound connection's first message (0 disables)")
+		verbose   = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
 
 	m := mom.New(*name, *cores)
 	m.Verbose = *verbose
+	m.HeartbeatInterval = *heartbeat
+	m.AutoReconnect = *reconnect
+	m.HandshakeTimeout = *handshake
 	if err := m.Start(*listen, *server); err != nil {
 		fmt.Fprintf(os.Stderr, "pbs-mom: %v\n", err)
 		os.Exit(1)

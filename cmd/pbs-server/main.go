@@ -17,20 +17,40 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/rms"
 	"repro/internal/serverd"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:15001", "listen address")
-		cfgPath  = flag.String("config", "", "Maui-style scheduler config file (Fig. 6 format)")
-		external = flag.Bool("external-sched", false, "disable the embedded scheduler; use a maui daemon")
-		poll     = flag.Duration("poll", 2*time.Second, "embedded scheduler idle poll interval")
-		verbose  = flag.Bool("v", false, "verbose logging")
+		addr      = flag.String("addr", "127.0.0.1:15001", "listen address")
+		cfgPath   = flag.String("config", "", "Maui-style scheduler config file (Fig. 6 format)")
+		external  = flag.Bool("external-sched", false, "disable the embedded scheduler; use a maui daemon")
+		poll      = flag.Duration("poll", 2*time.Second, "embedded scheduler idle poll interval")
+		heartbeat = flag.Duration("heartbeat", 0, "failure-detection interval (0 disables; moms silent for -heartbeat-misses intervals are declared down)")
+		misses    = flag.Int("heartbeat-misses", 3, "whole heartbeat intervals a mom may stay silent before its node is declared down")
+		failPol   = flag.String("fail-policy", "cancel", "what happens to jobs on a failed node: cancel or requeue")
+		handshake = flag.Duration("handshake-timeout", 0, "deadline for an inbound connection's first message (0 disables)")
+		verbose   = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
 
-	opts := serverd.Options{PollInterval: *poll, Verbose: *verbose}
+	opts := serverd.Options{
+		PollInterval:      *poll,
+		Verbose:           *verbose,
+		HeartbeatInterval: *heartbeat,
+		HeartbeatMisses:   *misses,
+		HandshakeTimeout:  *handshake,
+	}
+	switch *failPol {
+	case "cancel":
+		opts.FailurePolicy = rms.FailCancel
+	case "requeue":
+		opts.FailurePolicy = rms.FailRequeue
+	default:
+		fmt.Fprintf(os.Stderr, "pbs-server: unknown -fail-policy %q (want cancel or requeue)\n", *failPol)
+		os.Exit(1)
+	}
 	if !*external {
 		sc := config.Default()
 		if *cfgPath != "" {

@@ -39,7 +39,7 @@ var Analyzer = &analysis.Analyzer{
 
 // daemonPkgs are the packages with a locking discipline to enforce.
 var daemonPkgs = map[string]bool{
-	"serverd": true, "mom": true, "mauid": true, "rms": true,
+	"serverd": true, "mom": true, "mauid": true, "rms": true, "chaos": true,
 }
 
 var guardedRe = regexp.MustCompile(`guarded by (\w+)`)

@@ -46,13 +46,13 @@ var strictPkgs = map[string]bool{
 	"core": true, "profile": true, "sim": true, "cluster": true,
 	"esp": true, "quadflow": true, "workload": true, "fairness": true,
 	"rms": true, "job": true, "metrics": true, "trace": true,
-	"config": true, "experiments": true,
+	"config": true, "experiments": true, "backoff": true,
 }
 
 // daemonPkgs may annotate genuinely wall-clock paths.
 var daemonPkgs = map[string]bool{
 	"serverd": true, "mauid": true, "mom": true,
-	"proto": true, "tm": true, "clock": true,
+	"proto": true, "tm": true, "clock": true, "chaos": true,
 }
 
 // wallClockFuncs are the package-level time functions that read or

@@ -1,0 +1,90 @@
+// Package backoff computes capped exponential backoff with
+// deterministic jitter for the live daemons' retry loops (mom→server
+// reconnection, mauid poll degradation, TM client call retries). The
+// package is pure computation: it never sleeps and never touches the
+// wall clock or the process-global rand source — callers supply an
+// explicitly seeded *rand.Rand and do their own waiting, which keeps
+// every retry schedule reproducible under test.
+package backoff
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Policy describes a capped exponential backoff schedule.
+type Policy struct {
+	// Base is the delay before the first retry. Zero selects the
+	// default of 100ms.
+	Base time.Duration
+	// Max caps the exponential growth. Zero selects the default of 5s.
+	Max time.Duration
+	// Jitter is the fraction of the delay randomized away (0..1).
+	// With Jitter = 0.5 a computed 800ms delay lands uniformly in
+	// [400ms, 800ms]. Negative values mean no jitter; zero selects
+	// the default of 0.5 (halving the thundering-herd window without
+	// making schedules wildly unpredictable).
+	Jitter float64
+}
+
+// withDefaults fills zero fields.
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Delay returns the wait before retry attempt (0-based). The schedule
+// is Base<<attempt capped at Max, minus up to Jitter of itself drawn
+// from rng. A nil rng disables jitter. Delay never returns a value
+// below Base/2 or above Max.
+func (p Policy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := p.Base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= p.Max {
+			d = p.Max
+			break
+		}
+	}
+	if rng != nil && p.Jitter > 0 {
+		cut := time.Duration(p.Jitter * rng.Float64() * float64(d))
+		d -= cut
+	}
+	if min := p.Base / 2; d < min {
+		d = min
+	}
+	return d
+}
+
+// Seed derives a stable rand seed from a name, so every daemon gets a
+// distinct but reproducible jitter stream (mom "node3" always jitters
+// the same way, which keeps chaos tests replayable).
+func Seed(name string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+// NewRand is a convenience for rand.New(rand.NewSource(Seed(name))).
+func NewRand(name string) *rand.Rand {
+	return rand.New(rand.NewSource(Seed(name)))
+}

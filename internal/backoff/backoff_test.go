@@ -1,0 +1,70 @@
+package backoff
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Jitter: -1}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second, // capped
+	}
+	for i, w := range want {
+		if got := p.Delay(i, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDelayBounds(t *testing.T) {
+	p := Policy{Base: 80 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5}
+	rng := rand.New(rand.NewSource(7))
+	for attempt := 0; attempt < 20; attempt++ {
+		d := p.Delay(attempt, rng)
+		if d < p.Base/2 || d > p.Max {
+			t.Fatalf("Delay(%d) = %v out of [%v, %v]", attempt, d, p.Base/2, p.Max)
+		}
+	}
+	// Negative attempts behave like attempt 0.
+	if d := p.Delay(-3, nil); d > p.Base {
+		t.Errorf("negative attempt = %v", d)
+	}
+}
+
+func TestDelayDeterministicPerSeed(t *testing.T) {
+	p := Policy{}
+	a := rand.New(rand.NewSource(Seed("node0")))
+	b := rand.New(rand.NewSource(Seed("node0")))
+	for i := 0; i < 10; i++ {
+		if x, y := p.Delay(i, a), p.Delay(i, b); x != y {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, x, y)
+		}
+	}
+	if Seed("node0") == Seed("node1") {
+		t.Error("distinct names should give distinct seeds")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	if p.Base != 100*time.Millisecond || p.Max != 5*time.Second || p.Jitter != 0.5 {
+		t.Errorf("defaults = %+v", p)
+	}
+	// Jitter clamping.
+	if got := (Policy{Jitter: 9}).withDefaults().Jitter; got != 1 {
+		t.Errorf("jitter clamp high = %v", got)
+	}
+	if got := (Policy{Jitter: -1}).withDefaults().Jitter; got != 0 {
+		t.Errorf("jitter clamp low = %v", got)
+	}
+	if d := (Policy{}).Delay(0, NewRand("x")); d <= 0 || d > 100*time.Millisecond {
+		t.Errorf("default first delay = %v", d)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/job"
@@ -47,11 +48,17 @@ func New(srvAddr string, sched *core.Scheduler, interval time.Duration) *Daemon 
 // Scheduler returns the planning core (for fairness inspection).
 func (d *Daemon) Scheduler() *core.Scheduler { return d.sched }
 
-// Start begins the iteration loop.
+// Start begins the iteration loop. Iterations that fail (an
+// unreachable or restarting server) back off with capped exponential
+// delay and deterministic jitter instead of hammering the headnode at
+// the full polling rate; the first success resumes the normal cadence.
 func (d *Daemon) Start() {
 	go func() {
 		defer close(d.done)
-		t := time.NewTicker(d.interval) //lint:wallclock the external scheduler polls the server in real time
+		pol := backoff.Policy{Max: d.interval * 8}
+		rng := backoff.NewRand("mauid")
+		failures := 0
+		t := time.NewTimer(d.interval) //lint:wallclock the external scheduler polls the server in real time
 		defer t.Stop()
 		for {
 			select {
@@ -61,8 +68,11 @@ func (d *Daemon) Start() {
 			}
 			applied, _, err := d.RunOnce()
 			if err != nil {
+				t.Reset(pol.Delay(failures, rng))
+				failures++
 				continue
 			}
+			failures = 0
 			// Progress usually enables more progress (freed siblings,
 			// unblocked reservations): iterate again immediately.
 			for applied > 0 {
@@ -71,6 +81,7 @@ func (d *Daemon) Start() {
 					break
 				}
 			}
+			t.Reset(d.interval)
 		}
 	}()
 }

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/proto"
 	"repro/internal/tm"
 )
@@ -65,16 +66,43 @@ type momJob struct {
 	pendingTM *proto.Conn
 }
 
+// outMsg is one undelivered server message parked for replay: a job
+// completion must reach the server even when it is reported during a
+// link outage, or the job stays "running" forever on the headnode.
+type outMsg struct {
+	t       proto.MsgType
+	jobID   int
+	payload any
+}
+
 // Mom is one compute-node daemon.
 type Mom struct {
 	name  string
 	cores int
 
-	ln  net.Listener
-	srv *proto.Conn
+	// HeartbeatInterval enables the periodic liveness beacon on the
+	// server link. Pair it with the server's HeartbeatInterval so an
+	// otherwise idle node is not declared down. Zero disables beacons.
+	HeartbeatInterval time.Duration
+	// AutoReconnect makes the mom re-dial and re-register (with
+	// capped exponential backoff and deterministic jitter) when the
+	// server link drops, instead of going silent until restarted.
+	AutoReconnect bool
+	// ReconnectBase and ReconnectMax bound the reconnect backoff
+	// (defaults 100ms and 5s).
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// HandshakeTimeout bounds how long an inbound TM/join connection
+	// may take to deliver its first message. Zero disables it.
+	HandshakeTimeout time.Duration
 
-	mu   sync.Mutex
-	jobs map[int]*momJob // guarded by mu
+	ln      net.Listener
+	srvAddr string
+
+	mu     sync.Mutex
+	srv    *proto.Conn     // guarded by mu: current server link
+	jobs   map[int]*momJob // guarded by mu
+	outbox []outMsg        // guarded by mu: undelivered completions awaiting replay
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -107,23 +135,78 @@ func (m *Mom) Start(listenAddr, srvAddr string) error {
 		return fmt.Errorf("mom %s: listen: %w", m.name, err)
 	}
 	m.ln = ln
-	srv, err := proto.Dial(srvAddr)
+	m.srvAddr = srvAddr
+	srv, err := m.dialRegister()
 	if err != nil {
 		ln.Close()
-		return fmt.Errorf("mom %s: dial server: %w", m.name, err)
+		return fmt.Errorf("mom %s: %w", m.name, err)
 	}
+	m.mu.Lock()
 	m.srv = srv
-	if err := srv.Send(proto.TRegister, proto.RegisterReq{
-		Node: m.name, Addr: ln.Addr().String(), Cores: m.cores,
-	}); err != nil {
-		ln.Close()
-		_ = srv.Close()
-		return fmt.Errorf("mom %s: register: %w", m.name, err)
-	}
+	m.mu.Unlock()
 	m.wg.Add(2)
 	go m.serveLoop()
-	go m.serverLoop()
+	go m.serverLoop(srv)
+	if m.HeartbeatInterval > 0 {
+		m.wg.Add(1)
+		go m.heartbeatLoop()
+	}
 	return nil
+}
+
+// dialRegister opens a fresh server link and re-registers, reporting
+// the jobs this mom still knows about so the server can reconcile.
+func (m *Mom) dialRegister() (*proto.Conn, error) {
+	srv, err := proto.Dial(m.srvAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dial server: %w", err)
+	}
+	req := proto.RegisterReq{
+		Node: m.name, Addr: m.ln.Addr().String(), Cores: m.cores,
+		Jobs: m.knownJobs(),
+	}
+	if err := srv.Send(proto.TRegister, req); err != nil {
+		_ = srv.Close()
+		return nil, fmt.Errorf("register: %w", err)
+	}
+	return srv, nil
+}
+
+// knownJobs lists jobs this mom still hosts plus jobs whose completion
+// report is parked on the outbox (finished but not yet acknowledged by
+// a delivery), sorted for a deterministic wire image.
+func (m *Mom) knownJobs() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[int]bool, len(m.jobs)+len(m.outbox))
+	for id := range m.jobs {
+		seen[id] = true
+	}
+	for _, om := range m.outbox {
+		seen[om.jobID] = true
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// server returns the current server link (nil during an outage).
+func (m *Mom) server() *proto.Conn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.srv
+}
+
+func (m *Mom) isClosed() bool {
+	select {
+	case <-m.closed:
+		return true
+	default:
+		return false
+	}
 }
 
 // Close stops the daemon and kills local jobs.
@@ -137,16 +220,32 @@ func (m *Mom) Close() {
 	if m.ln != nil {
 		m.ln.Close()
 	}
-	if m.srv != nil {
-		_ = m.srv.Close()
+	if srv := m.server(); srv != nil {
+		_ = srv.Close()
 	}
 	m.mu.Lock()
-	for _, j := range m.jobs {
+	ids := make([]int, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var parked []*proto.Conn
+	for _, id := range ids {
+		j := m.jobs[id]
 		if j.cancel != nil {
 			j.cancel()
 		}
+		// A parked tm_dynget will never get its verdict now: fail it so
+		// the application is not left blocked on a dead daemon.
+		if j.pendingTM != nil {
+			parked = append(parked, j.pendingTM)
+			j.pendingTM = nil
+		}
 	}
 	m.mu.Unlock()
+	for _, c := range parked {
+		m.reply(c, proto.TTMResp, proto.TMResp{OK: false, Reason: "mom shutting down"})
+	}
 	m.wg.Wait()
 }
 
@@ -168,12 +267,52 @@ func (m *Mom) reply(c *proto.Conn, t proto.MsgType, payload any) {
 	}
 }
 
-// tellServer sends one message on the persistent server link. A send
-// failure is logged; the serverLoop Recv error is what actually tears
-// the link down, so no state is unwound here.
+// tellServer sends one best-effort message on the persistent server
+// link. A send failure is logged; the serverLoop Recv error is what
+// actually tears the link down, so no state is unwound here.
 func (m *Mom) tellServer(t proto.MsgType, payload any) {
-	if err := m.srv.Send(t, payload); err != nil {
+	srv := m.server()
+	if srv == nil {
+		m.logf("server send %s: link down", t)
+		return
+	}
+	if err := srv.Send(t, payload); err != nil {
 		m.logf("server send %s: %v", t, err)
+	}
+}
+
+// tellServerBuffered sends a must-deliver message (a job completion):
+// if the link is down or the send fails, the message is parked on the
+// outbox and replayed after the next successful re-registration.
+func (m *Mom) tellServerBuffered(t proto.MsgType, jobID int, payload any) {
+	if srv := m.server(); srv != nil {
+		if err := srv.Send(t, payload); err == nil {
+			return
+		} else {
+			m.logf("server send %s job=%d: %v (buffering)", t, jobID, err)
+		}
+	}
+	m.mu.Lock()
+	m.outbox = append(m.outbox, outMsg{t: t, jobID: jobID, payload: payload})
+	m.mu.Unlock()
+}
+
+// flushOutbox replays parked completions after a reconnect. A message
+// that fails again goes back on the front of the outbox in order.
+func (m *Mom) flushOutbox(c *proto.Conn) {
+	m.mu.Lock()
+	pending := m.outbox
+	m.outbox = nil
+	m.mu.Unlock()
+	for i, om := range pending {
+		if err := c.Send(om.t, om.payload); err != nil {
+			m.logf("outbox replay %s job=%d: %v", om.t, om.jobID, err)
+			m.mu.Lock()
+			m.outbox = append(pending[i:], m.outbox...)
+			m.mu.Unlock()
+			return
+		}
+		m.logf("outbox replayed %s job=%d", om.t, om.jobID)
 	}
 }
 
@@ -196,11 +335,13 @@ func (m *Mom) serveLoop() {
 // handleConn serves one inbound connection (an application's TM call
 // or a sibling mom's join).
 func (m *Mom) handleConn(c *proto.Conn) {
+	c.SetReadTimeout(m.HandshakeTimeout)
 	env, err := c.Recv()
 	if err != nil {
 		_ = c.Close()
 		return
 	}
+	c.SetReadTimeout(0)
 	switch env.Type {
 	case proto.TTMDynGet:
 		var req proto.TMDynGetReq
@@ -223,7 +364,7 @@ func (m *Mom) handleConn(c *proto.Conn) {
 			m.tmFail(c, err.Error())
 			return
 		}
-		m.tellServer(proto.TJobDone, proto.JobDoneReq{JobID: req.JobID, Error: req.Error})
+		m.tellServerBuffered(proto.TJobDone, req.JobID, proto.JobDoneReq{JobID: req.JobID, Error: req.Error})
 		m.reply(c, proto.TTMResp, proto.TMResp{OK: true})
 	case proto.TJoin, proto.TDynJoin:
 		var req proto.JoinReq
@@ -273,10 +414,15 @@ func (m *Mom) handleTMDynGet(c *proto.Conn, req proto.TMDynGetReq) {
 	j.pendingTM = c
 	m.mu.Unlock()
 	m.logf("forwarding tm_dynget job=%d cores=%d nodes=%dx%d", req.JobID, req.Cores, req.Nodes, req.PPN)
-	err := m.srv.Send(proto.TDynGet, proto.DynGetReq{
-		JobID: req.JobID, Cores: req.Cores, Nodes: req.Nodes, PPN: req.PPN,
-		TimeoutSecs: req.TimeoutSecs,
-	})
+	var err error
+	if srv := m.server(); srv != nil {
+		err = srv.Send(proto.TDynGet, proto.DynGetReq{
+			JobID: req.JobID, Cores: req.Cores, Nodes: req.Nodes, PPN: req.PPN,
+			TimeoutSecs: req.TimeoutSecs,
+		})
+	} else {
+		err = fmt.Errorf("link down")
+	}
 	if err != nil {
 		m.mu.Lock()
 		j.pendingTM = nil
@@ -304,7 +450,12 @@ func (m *Mom) handleTMDynFree(c *proto.Conn, req proto.TMDynFreeReq) {
 		}
 		m.notifyMom(h.Addr, proto.TDynDisjoin, proto.JoinReq{JobID: req.JobID, Hosts: req.Hosts})
 	}
-	if err := m.srv.Send(proto.TDynFree, proto.DynFreeReq{JobID: req.JobID, Hosts: req.Hosts}); err != nil {
+	srv := m.server()
+	if srv == nil {
+		m.tmFail(c, "server unreachable: link down")
+		return
+	}
+	if err := srv.Send(proto.TDynFree, proto.DynFreeReq{JobID: req.JobID, Hosts: req.Hosts}); err != nil {
 		m.tmFail(c, "server unreachable: "+err.Error())
 		return
 	}
@@ -384,12 +535,34 @@ func (m *Mom) notifyMom(addr string, t proto.MsgType, payload any) {
 	}
 }
 
-// serverLoop handles messages from the server.
-func (m *Mom) serverLoop() {
+// serverLoop handles messages from the server, re-dialing on link loss
+// when AutoReconnect is set.
+func (m *Mom) serverLoop(conn *proto.Conn) {
 	defer m.wg.Done()
 	for {
-		env, err := m.srv.Recv()
+		m.recvLoop(conn)
+		if m.isClosed() || !m.AutoReconnect {
+			return
+		}
+		var ok bool
+		conn, ok = m.reconnect()
+		if !ok {
+			return
+		}
+	}
+}
+
+// recvLoop drains one server link until it errors out.
+func (m *Mom) recvLoop(c *proto.Conn) {
+	for {
+		env, err := c.Recv()
 		if err != nil {
+			m.mu.Lock()
+			if m.srv == c {
+				m.srv = nil
+			}
+			m.mu.Unlock()
+			_ = c.Close()
 			return
 		}
 		switch env.Type {
@@ -409,6 +582,50 @@ func (m *Mom) serverLoop() {
 				m.handleDynGetResp(resp)
 			}
 		}
+	}
+}
+
+// reconnect re-dials the server with capped exponential backoff and
+// deterministic per-node jitter until it succeeds or the mom closes.
+func (m *Mom) reconnect() (*proto.Conn, bool) {
+	pol := backoff.Policy{Base: m.ReconnectBase, Max: m.ReconnectMax}
+	rng := backoff.NewRand(m.name)
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-m.closed:
+			return nil, false
+		case <-time.After(pol.Delay(attempt, rng)): //lint:wallclock reconnect backoff paces real network retries
+		}
+		srv, err := m.dialRegister()
+		if err != nil {
+			m.logf("reconnect attempt %d: %v", attempt+1, err)
+			continue
+		}
+		m.mu.Lock()
+		m.srv = srv
+		m.mu.Unlock()
+		m.logf("reconnected to server after %d attempt(s)", attempt+1)
+		m.flushOutbox(srv)
+		return srv, true
+	}
+}
+
+// heartbeatLoop sends a periodic liveness beacon so the server can
+// tell a slow node from a dead one.
+func (m *Mom) heartbeatLoop() {
+	defer m.wg.Done()
+	//lint:wallclock heartbeats are a real-time liveness protocol
+	t := time.NewTicker(m.HeartbeatInterval)
+	defer t.Stop()
+	var seq int64
+	for {
+		select {
+		case <-m.closed:
+			return
+		case <-t.C:
+		}
+		seq++
+		m.tellServer(proto.THeartbeat, proto.HeartbeatReq{Node: m.name, Seq: seq})
 	}
 }
 
@@ -447,7 +664,7 @@ func (m *Mom) runJob(req proto.RunJobReq) {
 			if err != nil {
 				done.Error = err.Error()
 			}
-			m.tellServer(proto.TJobDone, done)
+			m.tellServerBuffered(proto.TJobDone, req.JobID, done)
 		}
 	}()
 }

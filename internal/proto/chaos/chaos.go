@@ -1,0 +1,294 @@
+// Package chaos provides deterministic fault injection for the live
+// daemons' TCP links. A Proxy sits between a client (mom, mauid, a TM
+// application) and its server, forwarding bytes transparently until
+// told — or scheduled — to misbehave:
+//
+//   - RefuseNext(n) closes the next n inbound connections before any
+//     byte is forwarded (a dead or restarting peer);
+//   - SeverAll() cuts every live link at once (a crashed daemon or a
+//     yanked network cable);
+//   - Blackhole(true) accepts connections but forwards nothing, in
+//     either direction (a hung peer — the case socket deadlines exist
+//     for);
+//   - Options.FailRate picks victim connections from a seeded
+//     *rand.Rand in accept order, severing each after an rng-chosen
+//     delay, so soak tests replay the exact same fault schedule on
+//     every run.
+//
+// The proxy never interprets frames: faults happen at the transport
+// layer, exactly where real failures do. Integration tests point a
+// daemon's dial address at the proxy and drive faults explicitly,
+// which keeps every recovery path exercisable without wall-clock
+// flakiness (assertions poll for outcomes; they never race a timer).
+package chaos
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configures the scheduled (rng-driven) part of a Proxy.
+type Options struct {
+	// Seed seeds the fault schedule; the same seed replays the same
+	// per-connection decisions. Defaults to 1.
+	Seed int64
+	// FailRate is the probability (0..1) that an accepted connection
+	// is selected as a victim and severed after Delay. Zero disables
+	// scheduled faults; explicit controls still work.
+	FailRate float64
+	// MaxDelay bounds the rng-chosen lifetime of a victim connection;
+	// zero severs victims immediately after accept.
+	MaxDelay time.Duration
+}
+
+// Proxy is a fault-injecting TCP forwarder.
+type Proxy struct {
+	target string
+	opts   Options
+
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu        sync.Mutex
+	rng       *rand.Rand        // guarded by mu: fault schedule source
+	links     map[int]*link     // guarded by mu: live connections by id
+	nextLink  int               // guarded by mu
+	refuse    int               // guarded by mu: connections left to refuse
+	blackhole bool              // guarded by mu
+	stats     Stats             // guarded by mu
+	closed    bool              // guarded by mu
+}
+
+// link is one proxied connection pair (the downstream side only for
+// blackholed links).
+type link struct {
+	down net.Conn
+	up   net.Conn // nil when blackholed
+}
+
+func (l *link) closeBoth() {
+	_ = l.down.Close()
+	if l.up != nil {
+		_ = l.up.Close()
+	}
+}
+
+// Stats counts the proxy's fault decisions for test assertions.
+type Stats struct {
+	Accepted   int // connections accepted (including refused ones)
+	Refused    int // closed before forwarding (RefuseNext)
+	Severed    int // cut while live (SeverAll or scheduled victim)
+	Blackholed int // accepted but never forwarded
+}
+
+// New creates a proxy in front of target (host:port).
+func New(target string, opts Options) *Proxy {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return &Proxy{
+		target: target,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		links:  make(map[int]*link),
+	}
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port).
+func (p *Proxy) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return nil
+}
+
+// Addr returns the proxy's listen address; daemons dial this instead
+// of the real target.
+func (p *Proxy) Addr() string {
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// Close stops the proxy and severs every live link.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	if p.ln != nil {
+		_ = p.ln.Close()
+	}
+	p.SeverAll()
+	p.wg.Wait()
+}
+
+// RefuseNext makes the proxy close the next n inbound connections
+// before forwarding a single byte.
+func (p *Proxy) RefuseNext(n int) {
+	p.mu.Lock()
+	p.refuse += n
+	p.mu.Unlock()
+}
+
+// Blackhole toggles hang mode: while on, inbound connections are
+// accepted and held open but nothing is ever forwarded.
+func (p *Proxy) Blackhole(on bool) {
+	p.mu.Lock()
+	p.blackhole = on
+	p.mu.Unlock()
+}
+
+// SeverAll cuts every currently live link (both directions). New
+// connections are still accepted afterwards.
+func (p *Proxy) SeverAll() {
+	p.mu.Lock()
+	ids := make([]int, 0, len(p.links))
+	for id := range p.links {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	victims := make([]*link, 0, len(ids))
+	for _, id := range ids {
+		victims = append(victims, p.links[id])
+		delete(p.links, id)
+	}
+	p.stats.Severed += len(victims)
+	p.mu.Unlock()
+	for _, l := range victims {
+		l.closeBoth()
+	}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.admit(c)
+	}
+}
+
+// admit decides this connection's fate. Decisions draw from the rng
+// under the lock, in accept order, so a given seed always produces the
+// same schedule.
+func (p *Proxy) admit(c net.Conn) {
+	p.mu.Lock()
+	p.stats.Accepted++
+	if p.closed {
+		p.mu.Unlock()
+		_ = c.Close()
+		return
+	}
+	if p.refuse > 0 {
+		p.refuse--
+		p.stats.Refused++
+		p.mu.Unlock()
+		_ = c.Close()
+		return
+	}
+	if p.blackhole {
+		p.stats.Blackholed++
+		p.trackLocked(&link{down: c}) // held open until severed or closed
+		p.mu.Unlock()
+		return
+	}
+	victim := p.opts.FailRate > 0 && p.rng.Float64() < p.opts.FailRate
+	var lifetime time.Duration
+	if victim && p.opts.MaxDelay > 0 {
+		lifetime = time.Duration(p.rng.Int63n(int64(p.opts.MaxDelay)))
+	}
+	p.mu.Unlock()
+
+	up, err := net.Dial("tcp", p.target)
+	if err != nil {
+		_ = c.Close()
+		return
+	}
+	l := &link{down: c, up: up}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		l.closeBoth()
+		return
+	}
+	id := p.trackLocked(l)
+	p.mu.Unlock()
+
+	p.wg.Add(2)
+	go p.pipe(id, l.down, l.up)
+	go p.pipe(id, l.up, l.down)
+	if victim {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			if lifetime > 0 {
+				time.Sleep(lifetime) //lint:wallclock scheduled fault injection delays are real-time by design
+			}
+			p.sever(id)
+		}()
+	}
+}
+
+// trackLocked registers a live link. Caller holds p.mu.
+func (p *Proxy) trackLocked(l *link) int {
+	id := p.nextLink
+	p.nextLink++
+	p.links[id] = l
+	return id
+}
+
+// sever cuts one link by id (no-op when already gone).
+func (p *Proxy) sever(id int) {
+	p.mu.Lock()
+	l, ok := p.links[id]
+	if ok {
+		delete(p.links, id)
+		p.stats.Severed++
+	}
+	p.mu.Unlock()
+	if ok {
+		l.closeBoth()
+	}
+}
+
+// forget drops a link that ended on its own (EOF either side).
+func (p *Proxy) forget(id int) {
+	p.mu.Lock()
+	l, ok := p.links[id]
+	if ok {
+		delete(p.links, id)
+	}
+	p.mu.Unlock()
+	if ok {
+		l.closeBoth()
+	}
+}
+
+// pipe copies one direction until error/EOF, then tears the pair down.
+func (p *Proxy) pipe(id int, dst, src net.Conn) {
+	defer p.wg.Done()
+	_, _ = io.Copy(dst, src)
+	p.forget(id)
+}

@@ -1,0 +1,167 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer answers each newline-terminated line with the same line.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				r := bufio.NewReader(c)
+				for {
+					line, err := r.ReadString('\n')
+					if err != nil {
+						return
+					}
+					if _, err := c.Write([]byte(line)); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func startProxy(t *testing.T, target string, opts Options) *Proxy {
+	t.Helper()
+	p := New(target, opts)
+	if err := p.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func roundTrip(c net.Conn, msg string) (string, error) {
+	if _, err := fmt.Fprintf(c, "%s\n", msg); err != nil {
+		return "", err
+	}
+	return bufio.NewReader(c).ReadString('\n')
+}
+
+func TestChaosProxyForwards(t *testing.T) {
+	p := startProxy(t, echoServer(t), Options{})
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := roundTrip(c, "hello")
+	if err != nil || got != "hello\n" {
+		t.Fatalf("round trip = %q, %v", got, err)
+	}
+	if s := p.Stats(); s.Accepted != 1 || s.Refused+s.Severed+s.Blackholed != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestChaosProxyRefuseNext(t *testing.T) {
+	p := startProxy(t, echoServer(t), Options{})
+	p.RefuseNext(1)
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := roundTrip(c, "doomed"); err == nil {
+		t.Error("refused connection must not complete a round trip")
+	}
+	c.Close()
+	// The refusal budget is spent: the next connection works.
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got, err := roundTrip(c2, "ok"); err != nil || got != "ok\n" {
+		t.Fatalf("post-refusal round trip = %q, %v", got, err)
+	}
+	if s := p.Stats(); s.Refused != 1 {
+		t.Errorf("stats = %+v, want Refused=1", s)
+	}
+}
+
+func TestChaosProxySeverAll(t *testing.T) {
+	p := startProxy(t, echoServer(t), Options{})
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := roundTrip(c, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	p.SeverAll()
+	buf := make([]byte, 1)
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Error("severed link still delivered data")
+	}
+	if s := p.Stats(); s.Severed != 1 {
+		t.Errorf("stats = %+v, want Severed=1", s)
+	}
+}
+
+func TestChaosProxyBlackhole(t *testing.T) {
+	p := startProxy(t, echoServer(t), Options{})
+	p.Blackhole(true)
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := fmt.Fprintf(c, "void\n"); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Error("blackholed connection delivered data")
+	}
+	if s := p.Stats(); s.Blackholed != 1 {
+		t.Errorf("stats = %+v, want Blackholed=1", s)
+	}
+}
+
+// TestChaosProxyScheduledFaults: with FailRate 1 every connection is a
+// victim, and the same seed must make the same decisions on every run.
+func TestChaosProxyScheduledFaults(t *testing.T) {
+	p := startProxy(t, echoServer(t), Options{Seed: 7, FailRate: 1})
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 1)
+		if _, err := c.Read(buf); err == nil {
+			t.Errorf("victim connection %d survived", i)
+		}
+		c.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Stats().Severed == 3 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("stats = %+v, want Severed=3", p.Stats())
+}

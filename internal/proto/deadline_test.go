@@ -1,0 +1,66 @@
+package proto
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReadTimeoutFiresOnSilentPeer: a hung peer (accepts, never
+// writes) must not block Recv forever once a read timeout is armed.
+func TestReadTimeoutFiresOnSilentPeer(t *testing.T) {
+	cli, _ := pipePair(t)
+	cli.SetReadTimeout(50 * time.Millisecond)
+	start := time.Now()
+	_, err := cli.Recv()
+	if err == nil {
+		t.Fatal("Recv from a silent peer with a deadline must fail")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("want a timeout error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v, deadline not honored", elapsed)
+	}
+}
+
+// TestReadTimeoutDisarm: SetReadTimeout(0) must clear a previously
+// armed deadline so a slow-but-alive peer is served normally.
+func TestReadTimeoutDisarm(t *testing.T) {
+	cli, srv := pipePair(t)
+	cli.SetReadTimeout(50 * time.Millisecond)
+	cli.SetReadTimeout(0)
+	go func() {
+		time.Sleep(150 * time.Millisecond) // well past the stale deadline
+		_ = srv.Send(TOK, nil)
+	}()
+	env, err := cli.Recv()
+	if err != nil || env.Type != TOK {
+		t.Fatalf("Recv after disarm = %v, %v", env, err)
+	}
+}
+
+// TestWriteTimeoutFiresOnStuckPeer: a peer that never drains its
+// socket must eventually fail a deadlined Send instead of wedging the
+// daemon's sender.
+func TestWriteTimeoutFiresOnStuckPeer(t *testing.T) {
+	cli, _ := pipePair(t)
+	cli.SetWriteTimeout(50 * time.Millisecond)
+	// Large enough to overwhelm both kernel socket buffers; the peer
+	// never reads, so the write must block and then time out.
+	payload := strings.Repeat("x", 1<<24)
+	var err error
+	for i := 0; i < 8 && err == nil; i++ {
+		err = cli.Send(TError, ErrorResp{Error: payload})
+	}
+	if err == nil {
+		t.Fatal("Send to a stuck peer with a deadline never failed")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("want a timeout error, got %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // MsgType tags an envelope's payload.
@@ -36,10 +37,11 @@ const (
 	TQStatResp MsgType = "qstat.resp"
 
 	// Mom → server.
-	TRegister MsgType = "mom.register"
-	TJobDone  MsgType = "mom.jobdone"
-	TDynGet   MsgType = "mom.dynget"  // forwarded tm_dynget (mother superior only)
-	TDynFree  MsgType = "mom.dynfree" // forwarded tm_dynfree
+	TRegister  MsgType = "mom.register"
+	TJobDone   MsgType = "mom.jobdone"
+	TDynGet    MsgType = "mom.dynget"    // forwarded tm_dynget (mother superior only)
+	TDynFree   MsgType = "mom.dynfree"   // forwarded tm_dynfree
+	THeartbeat MsgType = "mom.heartbeat" // liveness beacon on the persistent link
 
 	// Server → mom.
 	TRunJob     MsgType = "srv.runjob"
@@ -84,6 +86,11 @@ type Conn struct {
 	c  net.Conn
 	wm sync.Mutex
 	rm sync.Mutex
+
+	readT      time.Duration // guarded by rm: per-Recv deadline, 0 = none
+	readArmed  bool          // guarded by rm: a deadline is set on the socket
+	writeT     time.Duration // guarded by wm: per-Send deadline, 0 = none
+	writeArmed bool          // guarded by wm
 }
 
 // NewConn wraps a net.Conn.
@@ -100,6 +107,43 @@ func Dial(addr string) (*Conn, error) {
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.c.Close() }
+
+// SetReadTimeout arms a deadline for every subsequent Recv: a peer
+// that dribbles bytes (or goes silent mid-frame) errors the read out
+// instead of pinning the calling goroutine forever. Zero disables the
+// deadline again. Safe to call concurrently with Recv.
+func (c *Conn) SetReadTimeout(d time.Duration) {
+	c.rm.Lock()
+	c.readT = d
+	c.rm.Unlock()
+}
+
+// SetWriteTimeout arms a deadline for every subsequent Send, bounding
+// how long a full peer socket buffer can block a writer. Zero disables
+// it. Safe to call concurrently with Send.
+func (c *Conn) SetWriteTimeout(d time.Duration) {
+	c.wm.Lock()
+	c.writeT = d
+	c.wm.Unlock()
+}
+
+// armDeadline applies one Recv/Send deadline, or clears a previously
+// armed one when d has been reset to zero. It returns the new armed
+// state; when no deadline is in play it is a no-op, keeping the
+// default path free of per-message syscalls.
+//
+//lint:wallclock socket deadlines are genuine wall-clock protocol timeouts
+func armDeadline(set func(time.Time) error, d time.Duration, armed bool) bool {
+	switch {
+	case d > 0:
+		_ = set(time.Now().Add(d))
+		return true
+	case armed:
+		_ = set(time.Time{})
+		return false
+	}
+	return false
+}
 
 // RemoteAddr exposes the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
@@ -122,6 +166,7 @@ func (c *Conn) Send(t MsgType, payload any) error {
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
 	c.wm.Lock()
 	defer c.wm.Unlock()
+	c.writeArmed = armDeadline(c.c.SetWriteDeadline, c.writeT, c.writeArmed)
 	if _, err := c.c.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -133,6 +178,7 @@ func (c *Conn) Send(t MsgType, payload any) error {
 func (c *Conn) Recv() (*Envelope, error) {
 	c.rm.Lock()
 	defer c.rm.Unlock()
+	c.readArmed = armDeadline(c.c.SetReadDeadline, c.readT, c.readArmed)
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
 		return nil, err
@@ -233,11 +279,25 @@ type QDelReq struct {
 	JobID int `json:"job_id"`
 }
 
-// RegisterReq announces a mom to the server.
+// RegisterReq announces a mom to the server. On a re-registration
+// (mom restart or reconnection after a link failure) Jobs carries the
+// ids of every job the mom still participates in, so the server can
+// reconcile: jobs the server runs on the node but the mom no longer
+// knows are handled by the failure policy, and jobs the mom reports
+// but the server has moved past are killed on the mom.
 type RegisterReq struct {
 	Node  string `json:"node"`
 	Addr  string `json:"addr"` // mom's listen address for TM/joins
 	Cores int    `json:"cores"`
+	Jobs  []int  `json:"jobs,omitempty"`
+}
+
+// HeartbeatReq is the mom's periodic liveness beacon. The server
+// declares a node down after HeartbeatMisses beats go missing and
+// routes the affected jobs through its failure policy.
+type HeartbeatReq struct {
+	Node string `json:"node"`
+	Seq  int64  `json:"seq"`
 }
 
 // RunJobReq starts a job on its mother superior (Hosts[0]).

@@ -160,7 +160,7 @@ func (r *serverRM) GrantDyn(req *job.DynRequest) (cluster.Alloc, error) {
 	s.dropDynLocked(int(req.Job.ID))
 	s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
 	s.bumpLocked()
-	s.sendMomLocked(s.nodes[ji.msNode], proto.TDynGetResp, proto.DynGetResp{
+	s.deliverVerdictLocked(ji, proto.DynGetResp{
 		JobID: int(req.Job.ID), Granted: true, Hosts: hosts,
 	})
 	s.logf("dyn grant job=%d +%d cores", req.Job.ID, req.TotalCores())
@@ -176,7 +176,7 @@ func (r *serverRM) RejectDyn(req *job.DynRequest, reason string) {
 	s.dropDynLocked(int(req.Job.ID))
 	s.bumpLocked()
 	if ji := s.jobs[int(req.Job.ID)]; ji != nil {
-		s.sendMomLocked(s.nodes[ji.msNode], proto.TDynGetResp, proto.DynGetResp{
+		s.deliverVerdictLocked(ji, proto.DynGetResp{
 			JobID: int(req.Job.ID), Granted: false, Reason: reason,
 		})
 	}

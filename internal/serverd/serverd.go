@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/rms"
 	"repro/internal/sim"
 )
 
@@ -34,6 +36,27 @@ type Options struct {
 	Sched *core.Scheduler
 	// PollInterval bounds the embedded scheduler's idle period.
 	PollInterval time.Duration
+	// HeartbeatInterval enables failure detection: a mom whose last
+	// message (heartbeat or otherwise) is older than
+	// HeartbeatMisses×HeartbeatInterval is declared down, its node is
+	// marked Down, and every affected job is routed through
+	// FailurePolicy — the live analog of the simulator's
+	// rms.FailNode. Zero (the default) disables detection entirely;
+	// the failure layer is inert.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many whole intervals may pass silently
+	// before a node is declared down (default 3).
+	HeartbeatMisses int
+	// FailurePolicy selects what happens to jobs that lose cores when
+	// a node dies: rms.FailCancel (default) kills them, rms.FailRequeue
+	// restarts them from scratch on the surviving nodes — the paper's
+	// "allocating spare nodes to affected jobs" path.
+	FailurePolicy rms.FailurePolicy
+	// HandshakeTimeout bounds how long an inbound connection may take
+	// to deliver its first message before being dropped, so a hung or
+	// byte-dribbling peer cannot pin an accept goroutine forever.
+	// Zero disables the deadline.
+	HandshakeTimeout time.Duration
 	// Verbose enables stderr logging.
 	Verbose bool
 }
@@ -45,15 +68,22 @@ type jobInfo struct {
 	hosts     []proto.HostSlice
 	msNode    string // mother superior node name
 	killTimer *time.Timer
+	negTimer  *time.Timer // negotiation deadline; stopped when the dyn request resolves
 	dynGrant  sim.Time
 	granted   bool
 }
 
 // nodeInfo mirrors one registered mom.
 type nodeInfo struct {
-	node *cluster.Node
-	addr string
-	conn *proto.Conn
+	node     *cluster.Node
+	addr     string
+	conn     *proto.Conn
+	lastSeen sim.Time // server-virtual time of the last message from this mom
+	// verdicts buffers dyn grant/reject answers that could not be
+	// delivered (link down, send failure); they replay in order on
+	// the mom's re-registration so a blocked tm_dynget always
+	// resolves.
+	verdicts []proto.DynGetResp
 }
 
 // Server is the live daemon.
@@ -86,6 +116,9 @@ func New(opts Options) *Server {
 	if opts.PollInterval <= 0 {
 		opts.PollInterval = 2 * time.Second
 	}
+	if opts.HeartbeatMisses <= 0 {
+		opts.HeartbeatMisses = 3
+	}
 	return &Server{
 		opts:     opts,
 		cl:       cluster.New(0, 0),
@@ -113,6 +146,10 @@ func (s *Server) Start(addr string) error {
 	if s.opts.Sched != nil {
 		s.wg.Add(1)
 		go s.schedLoop()
+	}
+	if s.opts.HeartbeatInterval > 0 {
+		s.wg.Add(1)
+		go s.monitorLoop()
 	}
 	return nil
 }
@@ -145,6 +182,9 @@ func (s *Server) Close() {
 	for _, ji := range s.jobs {
 		if ji.killTimer != nil {
 			ji.killTimer.Stop()
+		}
+		if ji.negTimer != nil {
+			ji.negTimer.Stop()
 		}
 	}
 	s.mu.Unlock()
@@ -215,6 +255,9 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) handleConn(c *proto.Conn) {
+	// A peer that connects and then stalls must not pin this goroutine:
+	// the first message has to arrive within the handshake window.
+	c.SetReadTimeout(s.opts.HandshakeTimeout)
 	env, err := c.Recv()
 	if err != nil {
 		_ = c.Close()
@@ -227,6 +270,9 @@ func (s *Server) handleConn(c *proto.Conn) {
 			_ = c.Close()
 			return
 		}
+		// The mom link is persistent and heartbeat-monitored; the
+		// per-message read deadline comes off.
+		c.SetReadTimeout(0)
 		s.registerMom(c, req) // takes ownership, runs the mom read loop
 	case proto.TQSub:
 		var spec proto.JobSpec
@@ -265,15 +311,29 @@ func (s *Server) handleConn(c *proto.Conn) {
 // registerMom adds the node and serves the mom's persistent link.
 func (s *Server) registerMom(c *proto.Conn, req proto.RegisterReq) {
 	s.mu.Lock()
-	if old, dup := s.nodes[req.Node]; dup {
-		// Re-registration (mom restart): reuse the node record.
-		old.addr = req.Addr
-		old.conn = c
+	ni, dup := s.nodes[req.Node]
+	if dup {
+		// Re-registration (mom restart or reconnection): reuse the
+		// node record, repair the node if it had been declared down,
+		// reconcile job state and replay any undelivered verdicts.
+		if ni.conn != nil && ni.conn != c {
+			_ = ni.conn.Close() // stale link; its read loop will exit
+		}
+		ni.addr = req.Addr
+		ni.conn = c
+		ni.lastSeen = s.now()
+		if ni.node.State != cluster.Up {
+			s.cl.SetNodeState(ni.node.ID, cluster.Up)
+			s.logf("node %s repaired by re-registration", req.Node)
+		}
+		s.reconcileMomLocked(ni, req.Jobs)
+		s.replayVerdictsLocked(ni)
+		s.bumpLocked()
 		s.mu.Unlock()
-		s.logf("mom %s re-registered at %s", req.Node, req.Addr)
+		s.logf("mom %s re-registered at %s (%d jobs reported)", req.Node, req.Addr, len(req.Jobs))
 	} else {
 		n := s.cl.AddNode(req.Node, req.Cores)
-		ni := &nodeInfo{node: n, addr: req.Addr, conn: c}
+		ni = &nodeInfo{node: n, addr: req.Addr, conn: c, lastSeen: s.now()}
 		s.nodes[req.Node] = ni
 		s.nodeByID[n.ID] = ni
 		s.rec = metrics.NewRecorder(s.cl.TotalCores())
@@ -285,25 +345,99 @@ func (s *Server) registerMom(c *proto.Conn, req proto.RegisterReq) {
 	for {
 		env, err := c.Recv()
 		if err != nil {
+			// Link lost. Detach the connection (unless a newer
+			// registration already replaced it) and let the heartbeat
+			// monitor decide when silence becomes node death.
+			s.mu.Lock()
+			if ni.conn == c {
+				ni.conn = nil
+			}
+			s.mu.Unlock()
 			return
 		}
+		s.mu.Lock()
+		ni.lastSeen = s.now()
+		s.mu.Unlock()
 		switch env.Type {
+		case proto.THeartbeat:
+			// lastSeen above is the whole point; nothing else to do.
 		case proto.TJobDone:
 			var done proto.JobDoneReq
 			if err := env.Decode(&done); err == nil {
-				s.jobDone(done)
+				s.jobDone(ni, done)
 			}
 		case proto.TDynGet:
 			var dg proto.DynGetReq
 			if err := env.Decode(&dg); err == nil {
-				s.dynGet(dg)
+				s.dynGet(ni, dg)
 			}
 		case proto.TDynFree:
 			var df proto.DynFreeReq
 			if err := env.Decode(&df); err == nil {
-				s.dynFree(df)
+				s.dynFree(ni, df)
 			}
 		}
+	}
+}
+
+// reconcileMomLocked aligns server and mom job state after a
+// re-registration. reported is the mom's view (ids it still hosts or
+// has an undelivered completion for). Two directions:
+//
+//   - a job the server placed on this node that the mom no longer
+//     knows is gone for good (the mom restarted): its cores on this
+//     node are stripped and the job goes through the failure policy,
+//     exactly as if the node had been declared down;
+//   - a job the mom reports but the server has moved past (cancelled,
+//     requeued elsewhere, completed) is killed on the mom so no
+//     zombie keeps burning cores.
+//
+// Caller holds s.mu.
+func (s *Server) reconcileMomLocked(ni *nodeInfo, reported []int) {
+	known := make(map[int]bool, len(reported))
+	for _, id := range reported {
+		known[id] = true
+	}
+	for _, id := range ni.node.Jobs() { // sorted
+		if known[int(id)] {
+			continue
+		}
+		if _, active := s.active[int(id)]; !active {
+			continue
+		}
+		s.logf("job %d lost on restarted mom %s", id, ni.node.Name)
+		s.failJobSliceLocked(ni.node, id, "mom restarted without the job")
+	}
+	ids := append([]int(nil), reported...)
+	sort.Ints(ids)
+	for _, id := range ids {
+		if j, active := s.active[id]; active {
+			ji := s.jobs[id]
+			if ni.node.HeldBy(j.ID) > 0 || (ji != nil && ji.msNode == ni.node.Name) {
+				continue // consistent on both sides
+			}
+		}
+		// Unknown to the server (or no longer placed here): kill the
+		// mom-side remnant. Harmless if the mom races a completion.
+		s.sendMomLocked(ni, proto.TKillJob, proto.KillJobReq{JobID: id})
+	}
+}
+
+// replayVerdictsLocked re-delivers buffered dyn verdicts to a freshly
+// re-registered mom. Verdicts for jobs that are no longer active on
+// this node are dropped (the job's fate was already settled and the
+// kill path answered its parked TM connection). Caller holds s.mu.
+func (s *Server) replayVerdictsLocked(ni *nodeInfo) {
+	pending := ni.verdicts
+	ni.verdicts = nil
+	for _, v := range pending {
+		ji, ok := s.jobs[v.JobID]
+		if !ok || !ji.j.Active() || ji.msNode != ni.node.Name {
+			s.logf("dropping stale dyn verdict for job %d", v.JobID)
+			continue
+		}
+		s.logf("replaying dyn verdict for job %d (granted=%v)", v.JobID, v.Granted)
+		s.deliverVerdictLocked(ji, v)
 	}
 }
 
@@ -423,6 +557,12 @@ func (s *Server) killLocked(ji *jobInfo, why string) {
 }
 
 func (s *Server) dropDynLocked(id int) {
+	// The request is resolving (grant, reject, kill, completion): its
+	// negotiation-deadline timer must not fire later.
+	if ji := s.jobs[id]; ji != nil && ji.negTimer != nil {
+		ji.negTimer.Stop()
+		ji.negTimer = nil
+	}
 	for i, r := range s.dyn {
 		if int(r.Job.ID) == id {
 			s.dyn = append(s.dyn[:i], s.dyn[i+1:]...)
@@ -431,12 +571,137 @@ func (s *Server) dropDynLocked(id int) {
 	}
 }
 
-// jobDone handles a completion report from a mother superior.
-func (s *Server) jobDone(done proto.JobDoneReq) {
+// monitorLoop is the failure detector: it declares a node down once
+// its mom has been silent for HeartbeatMisses whole intervals, then
+// routes every affected job through the failure policy — the live
+// mirror of the simulator's rms.FailNode.
+func (s *Server) monitorLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.HeartbeatInterval) //lint:wallclock heartbeat monitoring is a real-time liveness protocol
+	defer t.Stop()
+	window := sim.FromReal(s.opts.HeartbeatInterval) * sim.Duration(s.opts.HeartbeatMisses)
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		now := s.now()
+		names := make([]string, 0, len(s.nodes))
+		for name := range s.nodes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		changed := false
+		for _, name := range names {
+			ni := s.nodes[name]
+			if ni.node.State != cluster.Up {
+				continue
+			}
+			if now-ni.lastSeen <= window {
+				continue
+			}
+			s.logf("node %s declared down: silent for %s (window %s)",
+				name, sim.FormatTime(now-ni.lastSeen), sim.FormatTime(window))
+			s.failNodeLocked(ni, "heartbeat timeout")
+			changed = true
+		}
+		s.mu.Unlock()
+		if changed {
+			s.Kick()
+		}
+	}
+}
+
+// failNodeLocked marks a node Down and handles every affected job per
+// the failure policy, mirroring rms.FailNode: the dead cores are
+// stripped from each allocation, then the job is requeued (restarting
+// on spare nodes) or cancelled. Undelivered verdicts for the node are
+// dropped — the applications they were meant for died with it.
+// Caller holds s.mu.
+func (s *Server) failNodeLocked(ni *nodeInfo, why string) {
+	affected := s.cl.SetNodeState(ni.node.ID, cluster.Down)
+	if ni.conn != nil {
+		_ = ni.conn.Close()
+		ni.conn = nil
+	}
+	ni.verdicts = nil
+	for _, id := range affected { // SetNodeState returns sorted ids
+		if _, ok := s.active[int(id)]; !ok {
+			continue
+		}
+		s.failJobSliceLocked(ni.node, id, why)
+	}
+	s.bumpLocked()
+}
+
+// failJobSliceLocked strips a job's cores on one dead node and applies
+// the failure policy: requeue restarts the job from scratch (the
+// scheduler will place it on spare capacity), cancel kills it. The
+// original request size is restored first so a requeued job asks for
+// what it was submitted with. Caller holds s.mu.
+func (s *Server) failJobSliceLocked(node *cluster.Node, id job.ID, why string) {
+	j, ok := s.active[int(id)]
+	ji := s.jobs[int(id)]
+	if !ok || ji == nil {
+		return
+	}
+	lost := node.HeldBy(id)
+	if lost > 0 {
+		origCores := j.Cores
+		if err := s.cl.ReleasePartial(id, cluster.Alloc{{NodeID: node.ID, Cores: lost}}); err != nil {
+			s.logf("strip %d cores of job %d on %s: %v", lost, id, node.Name, err)
+			return
+		}
+		if lost > j.DynCores {
+			j.Cores -= lost - j.DynCores
+			j.DynCores = 0
+		} else {
+			j.DynCores -= lost
+		}
+		ji.hosts = removeNodeSlices(ji.hosts, node.Name)
+		s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
+		j.Cores = origCores
+	}
+	switch s.opts.FailurePolicy {
+	case rms.FailRequeue:
+		if err := (*serverRM)(s).Preempt(j); err != nil {
+			s.logf("requeue job %d after %s: %v", id, why, err)
+			s.killLocked(ji, why)
+			return
+		}
+		s.logf("job %d requeued (%s)", id, why)
+	default:
+		s.killLocked(ji, why)
+	}
+}
+
+// removeNodeSlices drops every host slice on the named node.
+func removeNodeSlices(hosts []proto.HostSlice, node string) []proto.HostSlice {
+	out := hosts[:0:0]
+	for _, h := range hosts {
+		if h.Node != node {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// jobDone handles a completion report from a mother superior. from
+// must be the job's current mother superior: a stale report from a mom
+// the job was failed away from (requeued and restarted elsewhere) must
+// not complete the new incarnation.
+func (s *Server) jobDone(from *nodeInfo, done proto.JobDoneReq) {
 	s.mu.Lock()
 	ji, ok := s.jobs[done.JobID]
 	if !ok || !ji.j.Active() {
 		s.mu.Unlock()
+		return
+	}
+	if from != nil && ji.msNode != from.node.Name {
+		s.mu.Unlock()
+		s.logf("ignoring stale jobdone for %d from %s (ms is %s)", done.JobID, from.node.Name, ji.msNode)
 		return
 	}
 	j := ji.j
@@ -466,19 +731,25 @@ func (s *Server) jobDone(done proto.JobDoneReq) {
 }
 
 // dynGet queues a forwarded tm_dynget: the job enters DynQueued and a
-// scheduling cycle is triggered (Fig. 3 step 3-4).
-func (s *Server) dynGet(req proto.DynGetReq) {
+// scheduling cycle is triggered (Fig. 3 step 3-4). from is the mom
+// that forwarded the request — it must be the job's mother superior.
+func (s *Server) dynGet(from *nodeInfo, req proto.DynGetReq) {
 	s.mu.Lock()
 	ji, ok := s.jobs[req.JobID]
 	if !ok || ji.j.State != job.Running {
 		s.mu.Unlock()
-		s.answerDyn(req.JobID, proto.DynGetResp{JobID: req.JobID, Granted: false, Reason: "job not running"})
+		s.answerDynTo(from, proto.DynGetResp{JobID: req.JobID, Granted: false, Reason: "job not running"})
+		return
+	}
+	if from != nil && ji.msNode != from.node.Name {
+		s.mu.Unlock()
+		s.answerDynTo(from, proto.DynGetResp{JobID: req.JobID, Granted: false, Reason: "not the mother superior"})
 		return
 	}
 	for _, p := range s.dyn {
 		if int(p.Job.ID) == req.JobID {
 			s.mu.Unlock()
-			s.answerDyn(req.JobID, proto.DynGetResp{JobID: req.JobID, Granted: false, Reason: "request already pending"})
+			s.answerDynTo(from, proto.DynGetResp{JobID: req.JobID, Granted: false, Reason: "request already pending"})
 			return
 		}
 	}
@@ -493,13 +764,14 @@ func (s *Server) dynGet(req proto.DynGetReq) {
 	ji.j.State = job.DynQueued
 	s.dyn = append(s.dyn, r)
 	s.bumpLocked()
-	s.mu.Unlock()
-	s.logf("dynget queued job=%d timeout=%ds", req.JobID, req.TimeoutSecs)
 	if req.TimeoutSecs > 0 {
 		// Negotiation deadline: if the request is still pending when
-		// it expires, deliver the final rejection ourselves.
+		// it expires, deliver the final rejection ourselves. The timer
+		// is stored on the job record and stopped when the request
+		// resolves early (grant, reject, kill), so no resolved
+		// negotiation leaves a timer behind.
 		//lint:wallclock negotiation deadlines are real protocol timeouts
-		time.AfterFunc(time.Duration(req.TimeoutSecs)*time.Second, func() {
+		ji.negTimer = time.AfterFunc(time.Duration(req.TimeoutSecs)*time.Second, func() {
 			s.mu.Lock()
 			pending := s.findDynLocked(req.JobID) == r
 			if pending {
@@ -508,33 +780,51 @@ func (s *Server) dynGet(req proto.DynGetReq) {
 			s.mu.Unlock()
 		})
 	}
+	s.mu.Unlock()
+	s.logf("dynget queued job=%d timeout=%ds", req.JobID, req.TimeoutSecs)
 	s.Kick()
 }
 
-// answerDyn ships the verdict to the job's mother superior.
-func (s *Server) answerDyn(jobID int, resp proto.DynGetResp) {
+// answerDynTo delivers an immediate error verdict to the mom that
+// forwarded a dyn request.
+func (s *Server) answerDynTo(ni *nodeInfo, resp proto.DynGetResp) {
 	s.mu.Lock()
-	ji, ok := s.jobs[jobID]
-	var conn *proto.Conn
-	if ok {
-		if ni, ok2 := s.nodes[ji.msNode]; ok2 {
-			conn = ni.conn
-		}
-	}
-	s.mu.Unlock()
-	if conn != nil {
-		if err := conn.Send(proto.TDynGetResp, resp); err != nil {
-			s.logf("dynget answer job=%d: %v", jobID, err)
-		}
-	}
+	defer s.mu.Unlock()
+	s.sendMomLocked(ni, proto.TDynGetResp, resp)
 }
 
-// dynFree releases part of an allocation (Fig. 4 step 3-4).
-func (s *Server) dynFree(req proto.DynFreeReq) {
+// deliverVerdictLocked ships a dyn verdict to the job's mother
+// superior, buffering it for replay on re-registration when the link
+// is down or the send fails — a granted or rejected tm_dynget must
+// never leave the application parked forever. Caller holds s.mu.
+func (s *Server) deliverVerdictLocked(ji *jobInfo, resp proto.DynGetResp) {
+	ni := s.nodes[ji.msNode]
+	if ni == nil {
+		s.logf("dyn verdict for job %d has no mother superior; dropped", resp.JobID)
+		return
+	}
+	if ni.conn != nil {
+		if err := ni.conn.Send(proto.TDynGetResp, resp); err == nil {
+			return
+		} else {
+			s.logf("dyn verdict job=%d send: %v; buffering for replay", resp.JobID, err)
+		}
+	}
+	ni.verdicts = append(ni.verdicts, resp)
+}
+
+// dynFree releases part of an allocation (Fig. 4 step 3-4). from must
+// be the job's mother superior.
+func (s *Server) dynFree(from *nodeInfo, req proto.DynFreeReq) {
 	s.mu.Lock()
 	ji, ok := s.jobs[req.JobID]
 	if !ok || !ji.j.Active() {
 		s.mu.Unlock()
+		return
+	}
+	if from != nil && ji.msNode != from.node.Name {
+		s.mu.Unlock()
+		s.logf("ignoring dynfree for %d from %s (ms is %s)", req.JobID, from.node.Name, ji.msNode)
 		return
 	}
 	var part cluster.Alloc

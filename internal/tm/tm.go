@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/proto"
 )
 
@@ -31,6 +32,17 @@ const (
 type Context struct {
 	JobID   int
 	MomAddr string
+
+	// Retries is how many extra attempts a TM call makes after a
+	// transport failure that provably never reached the mom (a failed
+	// dial or send). Attempts that failed after the request went out
+	// are never retried — re-sending a tm_dynget could double-request
+	// resources — and scheduling rejections are verdicts, not failures.
+	// Zero (the default) keeps the historical fail-fast behavior.
+	Retries int
+	// RetryBase is the base delay of the capped exponential backoff
+	// between retries (default 100ms).
+	RetryBase time.Duration
 }
 
 // FromEnv builds a Context from the TM environment variables.
@@ -47,25 +59,49 @@ func FromEnv() (*Context, error) {
 	return &Context{JobID: id, MomAddr: addr}, nil
 }
 
-// call performs one TM round trip with the local mom.
+// call performs one TM round trip with the local mom, retrying (up to
+// Retries times) only when the request provably never reached it.
 func (c *Context) call(t proto.MsgType, payload any) (*proto.TMResp, error) {
+	resp, sent, err := c.callOnce(t, payload)
+	if err == nil || sent || c.Retries <= 0 {
+		return resp, err
+	}
+	pol := backoff.Policy{Base: c.RetryBase}
+	rng := backoff.NewRand(fmt.Sprintf("tm-job-%d", c.JobID))
+	for attempt := 0; attempt < c.Retries; attempt++ {
+		//lint:wallclock retry backoff paces real reconnect attempts against a restarting mom
+		time.Sleep(pol.Delay(attempt, rng))
+		resp, sent, err = c.callOnce(t, payload)
+		if err == nil || sent {
+			return resp, err
+		}
+	}
+	return resp, err
+}
+
+// callOnce is one attempt; sent reports whether the request reached
+// the wire (and so must not be replayed).
+func (c *Context) callOnce(t proto.MsgType, payload any) (resp *proto.TMResp, sent bool, err error) {
 	conn, err := proto.Dial(c.MomAddr)
 	if err != nil {
-		return nil, fmt.Errorf("tm: dial mom: %w", err)
+		return nil, false, fmt.Errorf("tm: dial mom: %w", err)
 	}
 	defer conn.Close()
-	env, err := conn.Request(t, payload)
+	if err := conn.Send(t, payload); err != nil {
+		return nil, false, fmt.Errorf("tm: %s: %w", t, err)
+	}
+	env, err := conn.Recv()
 	if err != nil {
-		return nil, fmt.Errorf("tm: %s: %w", t, err)
+		return nil, true, fmt.Errorf("tm: %s: %w", t, err)
 	}
 	if env.Type != proto.TTMResp {
-		return nil, fmt.Errorf("tm: unexpected reply %s", env.Type)
+		return nil, true, fmt.Errorf("tm: unexpected reply %s", env.Type)
 	}
-	var resp proto.TMResp
-	if err := env.Decode(&resp); err != nil {
-		return nil, err
+	var r proto.TMResp
+	if err := env.Decode(&r); err != nil {
+		return nil, true, err
 	}
-	return &resp, nil
+	return &r, true, nil
 }
 
 // DynGet requests cores additional cores anywhere in the cluster.
