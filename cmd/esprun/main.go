@@ -16,6 +16,15 @@
 //	esprun -fig12           # live-daemon allocation overhead
 //	esprun -all             # everything above
 //	esprun -seed 7 -cores 120 -walltime-factor 1.0
+//
+// Campaign mode fans independent runs across a worker pool; output is
+// byte-identical at any worker count (results are keyed by task index,
+// never completion order):
+//
+//	esprun -table2 -parallel 8        # four configs on 8 workers
+//	esprun -campaign seeds -seeds 10  # configs × seeds sweep
+//	esprun -campaign fraction         # evolving-fraction sweep 0–100%
+//	esprun -campaign scale            # cluster sizes 15–1024 nodes
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/campaign"
 	"repro/internal/esp"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -32,26 +42,29 @@ import (
 
 func main() {
 	var (
-		table1  = flag.Bool("table1", false, "print the dynamic ESP job mix (Table I)")
-		table2  = flag.Bool("table2", false, "run the four configurations and print Table II")
-		fig7    = flag.Bool("fig7", false, "run the Quadflow cases (Fig. 7)")
-		fig8    = flag.Bool("fig8", false, "waiting times Static vs Dyn-HP (Fig. 8)")
-		fig9    = flag.Bool("fig9", false, "type-L waiting times, all configs (Fig. 9)")
-		fig10   = flag.Bool("fig10", false, "waiting times Static/Dyn-HP/Dyn-500 (Fig. 10)")
-		fig11   = flag.Bool("fig11", false, "waiting times Static/Dyn-HP/Dyn-600 (Fig. 11)")
-		fig12   = flag.Bool("fig12", false, "live-daemon dynamic allocation overhead (Fig. 12)")
-		all     = flag.Bool("all", false, "run everything")
-		usage   = flag.Bool("usage", false, "per-user accounting of the Dyn-HP run")
-		gantt   = flag.Bool("gantt", false, "ASCII Gantt chart of the Dyn-HP schedule")
-		seed    = flag.Int64("seed", esp.DefaultOpts().Seed, "submission-order seed")
-		cores   = flag.Int("cores", 120, "total system cores (15 nodes x 8 in the paper)")
-		wfactor = flag.Float64("walltime-factor", 1.0, "requested walltime as a multiple of SET")
-		maxN    = flag.Int("fig12-nodes", 10, "largest dynamic allocation for -fig12")
-		samples = flag.Int("fig12-samples", 3, "samples per Fig. 12 point")
+		table1   = flag.Bool("table1", false, "print the dynamic ESP job mix (Table I)")
+		table2   = flag.Bool("table2", false, "run the four configurations and print Table II")
+		fig7     = flag.Bool("fig7", false, "run the Quadflow cases (Fig. 7)")
+		fig8     = flag.Bool("fig8", false, "waiting times Static vs Dyn-HP (Fig. 8)")
+		fig9     = flag.Bool("fig9", false, "type-L waiting times, all configs (Fig. 9)")
+		fig10    = flag.Bool("fig10", false, "waiting times Static/Dyn-HP/Dyn-500 (Fig. 10)")
+		fig11    = flag.Bool("fig11", false, "waiting times Static/Dyn-HP/Dyn-600 (Fig. 11)")
+		fig12    = flag.Bool("fig12", false, "live-daemon dynamic allocation overhead (Fig. 12)")
+		all      = flag.Bool("all", false, "run everything")
+		usage    = flag.Bool("usage", false, "per-user accounting of the Dyn-HP run")
+		gantt    = flag.Bool("gantt", false, "ASCII Gantt chart of the Dyn-HP schedule")
+		seed     = flag.Int64("seed", esp.DefaultOpts().Seed, "submission-order seed")
+		cores    = flag.Int("cores", 120, "total system cores (15 nodes x 8 in the paper)")
+		wfactor  = flag.Float64("walltime-factor", 1.0, "requested walltime as a multiple of SET")
+		maxN     = flag.Int("fig12-nodes", 10, "largest dynamic allocation for -fig12")
+		samples  = flag.Int("fig12-samples", 3, "samples per Fig. 12 point")
+		parallel = flag.Int("parallel", 1, "campaign workers (0 = GOMAXPROCS); output is identical at any count")
+		camp     = flag.String("campaign", "", "run a sweep campaign: seeds | fraction | scale")
+		nSeeds   = flag.Int("seeds", 5, "seed count for -campaign seeds (seed, seed+1, ...)")
 	)
 	flag.Parse()
 
-	if !(*table1 || *table2 || *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *usage || *gantt || *all) {
+	if !(*table1 || *table2 || *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *fig12 || *usage || *gantt || *all || *camp != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -70,11 +83,19 @@ func main() {
 			total, evolving, float64(evolving)/float64(total)*100, rigid, w.TotalWork())
 	}
 
+	copts := campaign.Options{Workers: *parallel, OnProgress: progressLine}
+
+	if *camp != "" {
+		runCampaign(*camp, opts, copts, *nSeeds)
+	}
+
 	var results []*experiments.ESPResult
 	need := *table2 || *fig8 || *fig9 || *fig10 || *fig11 || *usage || *gantt || *all
 	if need {
-		fmt.Fprintf(os.Stderr, "running the four ESP configurations (seed %d, %d cores)...\n", opts.Seed, opts.TotalCores)
-		results = experiments.RunStandard(opts)
+		fmt.Fprintf(os.Stderr, "running the four ESP configurations (seed %d, %d cores, %d workers)...\n",
+			opts.Seed, opts.TotalCores, *parallel)
+		results = experiments.RunStandardParallel(opts, copts)
+		endProgress()
 	}
 
 	if *table2 || *all {
@@ -136,4 +157,50 @@ func main() {
 		fmt.Println("=== Fig. 12: dynamic allocation overhead (live TCP daemons) ===")
 		fmt.Print(experiments.FormatFig12(points))
 	}
+}
+
+// progressLine rewrites one stderr line per finished campaign run; the
+// pool serializes the calls and done is strictly increasing.
+func progressLine(done, total int) {
+	fmt.Fprintf(os.Stderr, "\r%s", metrics.FormatProgress(done, total))
+}
+
+// endProgress terminates the progress line once a campaign finishes.
+func endProgress() { fmt.Fprintln(os.Stderr) }
+
+// runCampaign executes one of the named sweeps and exits.
+func runCampaign(kind string, opts esp.GenOpts, copts campaign.Options, nSeeds int) {
+	switch kind {
+	case "seeds":
+		if nSeeds < 1 {
+			nSeeds = 1
+		}
+		seeds := make([]int64, nSeeds)
+		for i := range seeds {
+			seeds[i] = opts.Seed + int64(i)
+		}
+		fmt.Fprintf(os.Stderr, "seed sweep: %d seeds x 4 configs...\n", nSeeds)
+		groups := experiments.SeedSweep(opts, seeds, copts)
+		endProgress()
+		fmt.Println("=== Campaign: Table II per seed ===")
+		fmt.Print(experiments.FormatSeedSweep(groups))
+	case "fraction":
+		fracs := experiments.DefaultFractions()
+		fmt.Fprintf(os.Stderr, "evolving-fraction sweep: %d points (Dyn-HP)...\n", len(fracs))
+		points := experiments.FractionSweep(opts, fracs, copts)
+		endProgress()
+		fmt.Println("=== Campaign: evolving-fraction sweep (Dyn-HP) ===")
+		fmt.Print(experiments.FormatSweep(points))
+	case "scale":
+		nodes := experiments.DefaultScaleNodes()
+		fmt.Fprintf(os.Stderr, "cluster-size sweep: %d points (Dyn-HP)...\n", len(nodes))
+		points := experiments.ScaleSweep(opts, nodes, copts)
+		endProgress()
+		fmt.Println("=== Campaign: cluster-size sweep (Dyn-HP) ===")
+		fmt.Print(experiments.FormatSweep(points))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown campaign %q (want seeds, fraction or scale)\n", kind)
+		os.Exit(2)
+	}
+	os.Exit(0)
 }

@@ -47,11 +47,30 @@ var decisionFuncs = map[string]bool{
 	"StartJob": true, "GrantDyn": true, "RejectDyn": true,
 	"Preempt": true, "CancelJob": true, "CompleteJob": true,
 	"Submit": true, "SubmitAt": true, "RequestDyn": true,
+	"SubmitBatch": true,
+}
+
+// noMapRangePkgs ban ranging over a map outright, order-sensitive body
+// or not. The campaign worker pool dispatches tasks and merges results
+// strictly by slice index — a map range anywhere in it is the one way
+// completion-order nondeterminism could leak back into campaign
+// output, so the whole construct is rejected and the finding cannot be
+// suppressed.
+var noMapRangePkgs = map[string]bool{
+	"campaign": true,
+}
+
+func lastElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
 }
 
 func run(pass *analysis.Pass) error {
+	noRange := noMapRangePkgs[lastElem(pass.Pkg.Path())]
 	for _, f := range pass.Files {
-		v := &visitor{pass: pass}
+		v := &visitor{pass: pass, noRange: noRange}
 		ast.Walk(v, f)
 	}
 	return nil
@@ -60,8 +79,9 @@ func run(pass *analysis.Pass) error {
 // visitor tracks enclosing statement lists so the append check can
 // look for sorts after the range loop.
 type visitor struct {
-	pass   *analysis.Pass
-	blocks []([]ast.Stmt)
+	pass    *analysis.Pass
+	blocks  []([]ast.Stmt)
+	noRange bool
 }
 
 func (v *visitor) Visit(n ast.Node) ast.Visitor {
@@ -77,7 +97,15 @@ func (v *visitor) Visit(n ast.Node) ast.Visitor {
 		return v
 	case *ast.RangeStmt:
 		if v.isMapRange(n) {
-			v.checkMapRange(n)
+			if v.noRange {
+				v.pass.Report(analysis.Diagnostic{
+					Pos:            n.Pos(),
+					Message:        "range over map in the campaign package: dispatch and merge must be slice-indexed so results never depend on completion or map order",
+					Unsuppressable: true,
+				})
+			} else {
+				v.checkMapRange(n)
+			}
 		}
 		return v
 	case nil:

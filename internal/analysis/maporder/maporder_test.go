@@ -10,3 +10,7 @@ import (
 func TestMaporder(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), maporder.Analyzer, "a")
 }
+
+func TestMaporderCampaignBan(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), maporder.Analyzer, "campaign")
+}

@@ -1,0 +1,24 @@
+// Package campaign exercises the blanket map-range ban: the worker
+// pool must dispatch and merge by slice index only.
+package campaign
+
+func dispatchFromMap(tasks map[int]func()) {
+	for _, t := range tasks { // want `range over map in the campaign package: dispatch and merge must be slice-indexed so results never depend on completion or map order`
+		t()
+	}
+}
+
+func mergeFromMap(results map[int]int) []int {
+	out := make([]int, 0, len(results))
+	//lint:maporder the directive must not silence the campaign ban
+	for _, r := range results { // want `range over map in the campaign package: dispatch and merge must be slice-indexed so results never depend on completion or map order`
+		out = append(out, r)
+	}
+	return out
+}
+
+func sliceDispatchIsFine(tasks []func()) {
+	for _, t := range tasks {
+		t()
+	}
+}

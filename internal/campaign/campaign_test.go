@@ -1,0 +1,140 @@
+package campaign
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestResultsKeyedByIndex forces tasks to complete in exactly reverse
+// order (task i blocks until task i+1 finishes) and checks the results
+// still land in index order — the core determinism guarantee.
+func TestResultsKeyedByIndex(t *testing.T) {
+	const n = 8
+	gates := make([]chan struct{}, n+1)
+	for i := range gates {
+		gates[i] = make(chan struct{})
+	}
+	close(gates[n])
+	tasks := make([]func() int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func() int {
+			<-gates[i+1] // wait for the later-indexed task
+			close(gates[i])
+			return i * i
+		}
+	}
+	// Workers must cover every task or the reverse chain deadlocks.
+	results := Run(tasks, Options{Workers: n})
+	for i, r := range results {
+		if r != i*i {
+			t.Fatalf("results[%d] = %d, want %d (completion order leaked in)", i, r, i*i)
+		}
+	}
+}
+
+// TestSerialPath covers Workers=1: plain loop, in-order progress.
+func TestSerialPath(t *testing.T) {
+	var order []int
+	tasks := make([]func() int, 5)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() int {
+			order = append(order, i)
+			return i
+		}
+	}
+	var progress []int
+	results := Run(tasks, Options{Workers: 1, OnProgress: func(done, total int) {
+		if total != 5 {
+			t.Errorf("total = %d, want 5", total)
+		}
+		progress = append(progress, done)
+	}})
+	for i, r := range results {
+		if r != i {
+			t.Fatalf("results[%d] = %d", i, r)
+		}
+		if order[i] != i {
+			t.Fatalf("serial path ran out of order: %v", order)
+		}
+		if progress[i] != i+1 {
+			t.Fatalf("progress not 1..n: %v", progress)
+		}
+	}
+}
+
+// TestBoundedConcurrency verifies the pool never exceeds Workers.
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	tasks := make([]func() struct{}, 64)
+	for i := range tasks {
+		tasks[i] = func() struct{} {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			// A few scheduler yields give overlapping workers a chance
+			// to be observed without touching any clock.
+			for k := 0; k < 100; k++ {
+				runtime.Gosched()
+			}
+			cur.Add(-1)
+			return struct{}{}
+		}
+	}
+	Run(tasks, Options{Workers: workers})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, worker bound is %d", p, workers)
+	}
+}
+
+// TestProgressMonotonic checks done is strictly increasing and
+// complete under parallel execution.
+func TestProgressMonotonic(t *testing.T) {
+	const n = 50
+	tasks := make([]func() int, n)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() int { return i }
+	}
+	var seen []int
+	Run(tasks, Options{Workers: 8, OnProgress: func(done, total int) {
+		seen = append(seen, done) // serialized by the pool's mutex
+	}})
+	if len(seen) != n {
+		t.Fatalf("OnProgress called %d times, want %d", len(seen), n)
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress sequence not 1..n: %v", seen)
+		}
+	}
+}
+
+// TestEach covers the index-keyed variant.
+func TestEach(t *testing.T) {
+	out := make([]int, 20)
+	Each(len(out), Options{Workers: 4}, func(i int) { out[i] = i + 1 })
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestEmptyAndOversubscribed covers the n=0 edge and workers > tasks.
+func TestEmptyAndOversubscribed(t *testing.T) {
+	if got := Run([]func() int{}, Options{Workers: 4}); len(got) != 0 {
+		t.Fatalf("empty run returned %v", got)
+	}
+	got := Run([]func() int{func() int { return 7 }}, Options{Workers: 16})
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("oversubscribed run returned %v", got)
+	}
+}

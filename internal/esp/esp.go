@@ -101,6 +101,17 @@ type GenOpts struct {
 	// ZDelay separates the last regular submission from the Z jobs
 	// (paper: 30 min).
 	ZDelay sim.Duration
+	// EvolvingOverride, when set, replaces Table I's fixed evolving set
+	// (types F–J, 30% of the jobs) with a seeded random selection of
+	// round(EvolvingFraction × 228) regular jobs. The selection is drawn
+	// from the same random stream as the submission shuffle, after the
+	// shuffle, so the submission order at a given seed is identical to
+	// the unoverridden workload. Rigid Table I types get a synthetic
+	// DET of 2·SET/3 when selected. Z jobs are never overridden.
+	EvolvingOverride bool
+	// EvolvingFraction is the target evolving-job fraction in [0, 1];
+	// only consulted when EvolvingOverride is set.
+	EvolvingFraction float64
 }
 
 // DefaultOpts returns the paper's evaluation parameters. The paper
@@ -204,6 +215,10 @@ func Generate(opts GenOpts) *Workload {
 	}
 	rng.Shuffle(len(regular), func(i, k int) { regular[i], regular[k] = regular[k], regular[i] })
 
+	if opts.EvolvingOverride {
+		overrideEvolving(regular, opts, rng)
+	}
+
 	var last sim.Time
 	for i := range regular {
 		if i < opts.InitialBatch {
@@ -226,17 +241,57 @@ func Generate(opts GenOpts) *Workload {
 	return w
 }
 
-// SubmitAll schedules every item's submission on the server's engine.
-// Call before running the engine.
-func (w *Workload) SubmitAll(srv *rms.Server) {
-	for _, it := range w.Items {
-		it := it
-		if it.SubmitAt == 0 {
-			srv.Submit(it.Job, it.App)
+// overrideEvolving re-flags the regular jobs so that exactly
+// round(f·n) of them evolve, drawing the selection from the shuffle's
+// random stream (one rng.Perm call — the sweep stays deterministic per
+// seed and the submission order is untouched).
+func overrideEvolving(regular []Item, opts GenOpts, rng *rand.Rand) {
+	f := opts.EvolvingFraction
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	k := int(math.Round(f * float64(len(regular))))
+	flagged := make([]bool, len(regular))
+	for _, idx := range rng.Perm(len(regular))[:k] {
+		flagged[idx] = true
+	}
+	for i := range regular {
+		it := &regular[i]
+		t := it.Type
+		if !flagged[i] {
+			it.Job.Class = job.Rigid
+			it.App = &rms.FixedApp{Runtime: t.SET}
+			continue
+		}
+		det := t.DET
+		if det <= 0 {
+			det = t.SET * 2 / 3
+		}
+		it.Job.Class = job.Evolving
+		if opts.Dynamic {
+			it.App = &rms.EvolvingApp{
+				SET: t.SET, DET: det,
+				ExtraCores:   opts.ExtraCores,
+				AttemptFracs: append([]float64(nil), opts.AttemptFracs...),
+			}
 		} else {
-			srv.SubmitAt(it.SubmitAt, it.Job, it.App)
+			it.App = &rms.FixedApp{Runtime: t.SET}
 		}
 	}
+}
+
+// SubmitAll schedules every item's submission on the server's engine
+// in one batch (items at t=0 submit immediately, the rest bulk-load
+// the event queue in O(n)). Call before running the engine.
+func (w *Workload) SubmitAll(srv *rms.Server) {
+	items := make([]rms.SubmitItem, len(w.Items))
+	for i, it := range w.Items {
+		items[i] = rms.SubmitItem{At: it.SubmitAt, Job: it.Job, App: it.App}
+	}
+	srv.SubmitBatch(items)
 }
 
 // Counts returns (total, evolving, rigid) job counts.

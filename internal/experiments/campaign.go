@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/esp"
+	"repro/internal/metrics"
+)
+
+// This file fans the paper's experiment matrix across the campaign
+// worker pool. Every sweep builds its task list up front (slices, in a
+// fixed order), hands it to campaign.Run, and consumes the results by
+// index — so a sweep at any worker count produces exactly the bytes a
+// serial run would. Each task constructs its own engine, cluster,
+// scheduler and recorder inside RunESP; tasks share nothing.
+
+// RunStandardParallel runs the four Table II configurations on the
+// campaign pool and returns the results in StandardConfigs order.
+func RunStandardParallel(genOpts esp.GenOpts, opts campaign.Options) []*ESPResult {
+	configs := StandardConfigs()
+	tasks := make([]func() *ESPResult, len(configs))
+	for i := range configs {
+		c := configs[i]
+		tasks[i] = func() *ESPResult { return RunESP(c, genOpts) }
+	}
+	return campaign.Run(tasks, opts)
+}
+
+// SweepPoint is one cell of a campaign sweep: a labelled ESP run.
+type SweepPoint struct {
+	Label  string
+	Result *ESPResult
+}
+
+// SeedSweep runs every Table II configuration for every seed
+// (configs × seeds tasks, fanned out individually for load balance)
+// and returns the per-seed result groups in seed order.
+func SeedSweep(base esp.GenOpts, seeds []int64, opts campaign.Options) [][]*ESPResult {
+	configs := StandardConfigs()
+	tasks := make([]func() *ESPResult, 0, len(seeds)*len(configs))
+	for _, seed := range seeds {
+		for _, c := range configs {
+			seed, c := seed, c
+			g := base
+			g.Seed = seed
+			g.Rand = nil
+			c.Name = fmt.Sprintf("%s/s%d", c.Name, seed)
+			tasks = append(tasks, func() *ESPResult { return RunESP(c, g) })
+		}
+	}
+	flat := campaign.Run(tasks, opts)
+	out := make([][]*ESPResult, len(seeds))
+	for i := range seeds {
+		out[i] = flat[i*len(configs) : (i+1)*len(configs)]
+	}
+	return out
+}
+
+// DefaultFractions is the evolving-fraction sweep grid: the paper's
+// fixed 30% generalized from all-rigid to all-evolving.
+func DefaultFractions() []float64 { return []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0} }
+
+// FractionSweep varies the evolving-job fraction of the workload under
+// the Dyn-HP configuration (highest priority, no delay bound — the
+// configuration whose behaviour is most sensitive to how much of the
+// workload evolves).
+func FractionSweep(base esp.GenOpts, fractions []float64, opts campaign.Options) []SweepPoint {
+	tasks := make([]func() *ESPResult, len(fractions))
+	labels := make([]string, len(fractions))
+	for i, f := range fractions {
+		f := f
+		g := base
+		g.Rand = nil
+		g.EvolvingOverride = true
+		g.EvolvingFraction = f
+		c := ESPConfig{Name: fmt.Sprintf("Dyn-HP/f%02.0f", f*100), Dynamic: true}
+		labels[i] = c.Name
+		tasks[i] = func() *ESPResult { return RunESP(c, g) }
+	}
+	results := campaign.Run(tasks, opts)
+	points := make([]SweepPoint, len(results))
+	for i, r := range results {
+		points[i] = SweepPoint{Label: labels[i], Result: r}
+	}
+	return points
+}
+
+// DefaultScaleNodes is the cluster-size sweep grid, from the paper's
+// 15-node testbed up to a 1024-node machine.
+func DefaultScaleNodes() []int { return []int{15, 32, 64, 128, 256, 512, 1024} }
+
+// ScaleSweep varies the cluster size under the Dyn-HP configuration.
+// Job sizes are fractional (Table I), so the workload scales with the
+// machine; nodes is in nodes of 8 cores, matching Topology.
+func ScaleSweep(base esp.GenOpts, nodes []int, opts campaign.Options) []SweepPoint {
+	tasks := make([]func() *ESPResult, len(nodes))
+	labels := make([]string, len(nodes))
+	for i, n := range nodes {
+		g := base
+		g.Rand = nil
+		g.TotalCores = n * 8
+		c := ESPConfig{Name: fmt.Sprintf("Dyn-HP/n%d", n), Dynamic: true}
+		labels[i] = c.Name
+		tasks[i] = func() *ESPResult { return RunESP(c, g) }
+	}
+	results := campaign.Run(tasks, opts)
+	points := make([]SweepPoint, len(results))
+	for i, r := range results {
+		points[i] = SweepPoint{Label: labels[i], Result: r}
+	}
+	return points
+}
+
+// FormatSweep renders a sweep as a Table II-style comparison.
+func FormatSweep(points []SweepPoint) string {
+	rows := make([]metrics.Summary, len(points))
+	for i, p := range points {
+		rows[i] = p.Result.Summary
+	}
+	return metrics.FormatTable(rows)
+}
+
+// FormatSeedSweep renders the per-seed groups one table after another.
+func FormatSeedSweep(groups [][]*ESPResult) string {
+	var out string
+	for _, g := range groups {
+		out += TableII(g)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/esp"
+)
+
+// BenchmarkCampaignSeedSweep measures campaign wall-clock scaling: a
+// fixed 8-seed × 4-config sweep (32 independent ESP simulations) at
+// increasing worker counts. ns/op at workers=8 vs workers=1 is the
+// campaign speedup reported in BENCH_campaign.json.
+func BenchmarkCampaignSeedSweep(b *testing.B) {
+	seeds := make([]int64, 8)
+	for i := range seeds {
+		seeds[i] = int64(5 + i)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				SeedSweep(esp.DefaultOpts(), seeds, campaign.Options{Workers: workers})
+			}
+		})
+	}
+}

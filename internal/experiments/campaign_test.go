@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"reflect"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/esp"
+	"repro/internal/job"
+)
+
+// TestCampaignIsBitIdentical is the campaign-mode determinism
+// guarantee: fanning the four Table II configurations across eight
+// workers must reproduce a serial run byte for byte — the rendered
+// Table II, every per-run decision trace, and every schedule event
+// log. Results are keyed by task index, so completion order (which the
+// race detector perturbs freely) must never leak into the output.
+func TestCampaignIsBitIdentical(t *testing.T) {
+	serial := RunStandard(esp.DefaultOpts())
+	parallel := RunStandardParallel(esp.DefaultOpts(), campaign.Options{Workers: 8})
+
+	if got, want := TableII(parallel), TableII(serial); got != want {
+		t.Errorf("Table II differs between parallel and serial campaign:\n--- serial\n%s\n--- parallel\n%s", want, got)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("result counts differ: %d vs %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Config.Name != p.Config.Name {
+			t.Fatalf("result %d config order differs: %q vs %q", i, s.Config.Name, p.Config.Name)
+		}
+		if s.Iterations != p.Iterations {
+			t.Errorf("%s: iteration counts differ: %d vs %d", s.Config.Name, s.Iterations, p.Iterations)
+		}
+		if len(s.Decisions) != len(p.Decisions) {
+			t.Fatalf("%s: decision counts differ: %d vs %d", s.Config.Name, len(s.Decisions), len(p.Decisions))
+		}
+		for d := range s.Decisions {
+			if !reflect.DeepEqual(s.Decisions[d], p.Decisions[d]) {
+				t.Fatalf("%s: decision %d differs:\n  serial:   %+v\n  parallel: %+v",
+					s.Config.Name, d, s.Decisions[d], p.Decisions[d])
+			}
+		}
+		hs := sha256.Sum256([]byte(s.Trace.String()))
+		hp := sha256.Sum256([]byte(p.Trace.String()))
+		if hs != hp {
+			t.Errorf("%s: trace logs differ: sha256 %x vs %x", s.Config.Name, hs, hp)
+		}
+	}
+}
+
+// TestFractionSweepEndpoints pins the override semantics: fraction 0
+// yields an all-rigid workload, fraction 1 an all-evolving one (modulo
+// the two Z jobs, which are never overridden), and the unoverridden
+// workload is untouched by the new fields.
+func TestFractionSweepEndpoints(t *testing.T) {
+	base := esp.DefaultOpts()
+
+	for _, tc := range []struct {
+		frac float64
+		want int // evolving count among the 228 regular jobs
+	}{{0, 0}, {1, 228}} {
+		g := base
+		g.EvolvingOverride = true
+		g.EvolvingFraction = tc.frac
+		w := esp.Generate(g)
+		evolving := 0
+		for _, it := range w.Items {
+			if it.Type.Name == "Z" {
+				continue
+			}
+			if it.Job.Class == job.Evolving {
+				evolving++
+			}
+		}
+		if evolving != tc.want {
+			t.Errorf("fraction %.0f: %d evolving regular jobs, want %d", tc.frac, evolving, tc.want)
+		}
+	}
+
+	// Same seed, override off vs on: submission order must be identical
+	// (the selection draws from the stream only after the shuffle).
+	plain := esp.Generate(base)
+	g := base
+	g.EvolvingOverride = true
+	g.EvolvingFraction = 0.5
+	over := esp.Generate(g)
+	for i := range plain.Items {
+		if plain.Items[i].Job.Name != over.Items[i].Job.Name ||
+			plain.Items[i].SubmitAt != over.Items[i].SubmitAt {
+			t.Fatalf("submission order disturbed at %d: %s@%d vs %s@%d",
+				i, plain.Items[i].Job.Name, plain.Items[i].SubmitAt,
+				over.Items[i].Job.Name, over.Items[i].SubmitAt)
+		}
+	}
+}

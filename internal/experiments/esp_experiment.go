@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/core"
@@ -171,13 +172,10 @@ func RunESP(c ESPConfig, genOpts esp.GenOpts) *ESPResult {
 }
 
 // RunStandard runs all four Table II configurations with the given
-// generator options and returns the results in order.
+// generator options and returns the results in order. It is the
+// serial (Workers=1) reference path of RunStandardParallel.
 func RunStandard(genOpts esp.GenOpts) []*ESPResult {
-	var out []*ESPResult
-	for _, c := range StandardConfigs() {
-		out = append(out, RunESP(c, genOpts))
-	}
-	return out
+	return RunStandardParallel(genOpts, campaign.Options{Workers: 1})
 }
 
 // TableII renders the Table II comparison for a set of results.

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/mom"
@@ -44,6 +45,12 @@ type Fig12Opts struct {
 	// the live benchmark injects clock.Wall here, tests a clock.Fake.
 	// Nil defaults to clock.Wall.
 	Clock clock.Clock
+	// Workers bounds how many points are measured concurrently; each
+	// point boots its own daemon stack on fresh loopback ports, so the
+	// points are independent. <= 1 measures serially (the default —
+	// concurrent stacks share the host CPU and can inflate the
+	// latencies they measure; use > 1 only for smoke runs).
+	Workers int
 }
 
 // DefaultFig12Opts mirrors the paper's setup.
@@ -70,19 +77,39 @@ func RunFig12(opts Fig12Opts) ([]OverheadPoint, error) {
 	if opts.Clock == nil {
 		opts.Clock = clock.Wall{}
 	}
-	points := make([]OverheadPoint, opts.MaxNodes)
-	for n := 1; n <= opts.MaxNodes; n++ {
-		points[n-1].Nodes = n
-		idle, err := fig12Measure(opts, n, 0)
-		if err != nil {
-			return nil, fmt.Errorf("fig12 idle n=%d: %w", n, err)
+	type pointOrErr struct {
+		p   OverheadPoint
+		err error
+	}
+	tasks := make([]func() pointOrErr, opts.MaxNodes)
+	for i := range tasks {
+		n := i + 1
+		tasks[i] = func() pointOrErr {
+			p := OverheadPoint{Nodes: n}
+			idle, err := fig12Measure(opts, n, 0)
+			if err != nil {
+				return pointOrErr{err: fmt.Errorf("fig12 idle n=%d: %w", n, err)}
+			}
+			p.IdleMS = idle
+			loaded, err := fig12Measure(opts, n, opts.QueuedJobs)
+			if err != nil {
+				return pointOrErr{err: fmt.Errorf("fig12 loaded n=%d: %w", n, err)}
+			}
+			p.LoadedMS = loaded
+			return pointOrErr{p: p}
 		}
-		points[n-1].IdleMS = idle
-		loaded, err := fig12Measure(opts, n, opts.QueuedJobs)
-		if err != nil {
-			return nil, fmt.Errorf("fig12 loaded n=%d: %w", n, err)
+	}
+	workers := opts.Workers
+	if workers <= 1 {
+		workers = 1
+	}
+	results := campaign.Run(tasks, campaign.Options{Workers: workers})
+	points := make([]OverheadPoint, len(results))
+	for i, r := range results {
+		if r.err != nil {
+			return nil, r.err
 		}
-		points[n-1].LoadedMS = loaded
+		points[i] = r.p
 	}
 	return points, nil
 }

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCampaignFig12 measures campaign wall-clock for the
+// live-daemon overhead experiment: every point boots a real TCP
+// server + mom stack and waits on registration polls and scheduler
+// wakeups, so the workload is blocking-dominated and the worker pool
+// overlaps the waiting even on a single core. This is the fleet-style
+// campaign the pool exists for; the CPU-bound seed sweep above scales
+// with physical cores instead.
+func BenchmarkCampaignFig12(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := DefaultFig12Opts()
+				opts.MaxNodes = 8
+				opts.Samples = 1
+				opts.QueuedJobs = 4
+				opts.Workers = workers
+				if _, err := RunFig12(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

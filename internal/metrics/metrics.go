@@ -247,3 +247,21 @@ func FormatTable(rows []Summary) string {
 	}
 	return b.String()
 }
+
+// FormatProgress renders a one-line campaign progress indicator
+// ("[=====>    ] 12/40 runs"), suitable for overwriting with \r.
+func FormatProgress(done, total int) string {
+	const width = 24
+	if total <= 0 {
+		return fmt.Sprintf("[%s] %d/%d runs", strings.Repeat(" ", width), done, total)
+	}
+	filled := done * width / total
+	if filled > width {
+		filled = width
+	}
+	bar := strings.Repeat("=", filled)
+	if filled < width {
+		bar += ">" + strings.Repeat(" ", width-filled-1)
+	}
+	return fmt.Sprintf("[%s] %d/%d runs", bar, done, total)
+}

@@ -13,6 +13,7 @@
 package proto
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -148,33 +149,90 @@ func armDeadline(set func(time.Time) error, d time.Duration, armed bool) bool {
 // RemoteAddr exposes the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
 
-// Send marshals payload and writes one frame.
-func (c *Conn) Send(t MsgType, payload any) error {
-	var raw json.RawMessage
-	if payload != nil {
-		b, err := json.Marshal(payload)
-		if err != nil {
-			return fmt.Errorf("proto: marshal %s: %w", t, err)
+// sendBuf is the pooled per-Send scratch: one buffer holding the
+// complete frame (length prefix + envelope) and a JSON encoder bound
+// to it, so the payload is encoded exactly once, directly in place.
+type sendBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var sendPool = sync.Pool{New: func() any {
+	b := &sendBuf{}
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
+
+// pooledBufLimit caps the buffer size retained by the send/recv pools;
+// pathologically large frames (up to maxFrame) are not worth pinning.
+const pooledBufLimit = 1 << 16
+
+// writeTag appends the JSON string encoding of a message type. Plain
+// ASCII tags — every tag this package defines — take the direct path;
+// anything needing escaping or UTF-8 coercion falls back to
+// encoding/json so the bytes match the seed codec exactly (the fuzz
+// corpus pins invalid-UTF-8 tag coercion).
+func writeTag(buf *bytes.Buffer, t MsgType) error {
+	for i := 0; i < len(t); i++ {
+		b := t[i]
+		if b < 0x20 || b >= 0x7f || b == '"' || b == '\\' || b == '<' || b == '>' || b == '&' {
+			enc, err := json.Marshal(string(t))
+			if err != nil {
+				return err
+			}
+			buf.Write(enc)
+			return nil
 		}
-		raw = b
 	}
-	frame, err := json.Marshal(Envelope{Type: t, Payload: raw})
-	if err != nil {
+	buf.WriteByte('"')
+	buf.WriteString(string(t))
+	buf.WriteByte('"')
+	return nil
+}
+
+// Send marshals payload and writes one frame. The envelope is built in
+// a single pass into a pooled buffer — no intermediate payload slice,
+// no re-scan of the payload bytes by an outer envelope marshal — and
+// the length prefix and body go out in one Write.
+func (c *Conn) Send(t MsgType, payload any) error {
+	sb := sendPool.Get().(*sendBuf)
+	defer func() {
+		if sb.buf.Cap() <= pooledBufLimit {
+			sendPool.Put(sb)
+		}
+	}()
+	sb.buf.Reset()
+	sb.buf.Write([]byte{0, 0, 0, 0}) // length prefix placeholder
+	sb.buf.WriteString(`{"type":`)
+	if err := writeTag(&sb.buf, t); err != nil {
 		return err
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if payload != nil {
+		sb.buf.WriteString(`,"payload":`)
+		if err := sb.enc.Encode(payload); err != nil {
+			return fmt.Errorf("proto: marshal %s: %w", t, err)
+		}
+		sb.buf.Truncate(sb.buf.Len() - 1) // Encode appends '\n'
+	}
+	sb.buf.WriteByte('}')
+	frame := sb.buf.Bytes()
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
 	c.wm.Lock()
 	defer c.wm.Unlock()
 	c.writeArmed = armDeadline(c.c.SetWriteDeadline, c.writeT, c.writeArmed)
-	if _, err := c.c.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = c.c.Write(frame)
+	_, err := c.c.Write(frame)
 	return err
 }
 
-// Recv reads one frame and returns its envelope.
+var recvPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// Recv reads one frame and returns its envelope. The frame is read
+// into a pooled buffer; unmarshalling copies the payload out (a
+// json.RawMessage field always copies), so the buffer is recycled as
+// soon as decoding finishes.
 func (c *Conn) Recv() (*Envelope, error) {
 	c.rm.Lock()
 	defer c.rm.Unlock()
@@ -187,7 +245,19 @@ func (c *Conn) Recv() (*Envelope, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("proto: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
+	bp := recvPool.Get().(*[]byte)
+	buf := *bp
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	defer func() {
+		if cap(buf) <= pooledBufLimit {
+			*bp = buf[:0]
+		}
+		recvPool.Put(bp)
+	}()
 	if _, err := io.ReadFull(c.c, buf); err != nil {
 		return nil, err
 	}

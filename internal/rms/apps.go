@@ -1,8 +1,6 @@
 package rms
 
 import (
-	"fmt"
-
 	"repro/internal/job"
 	"repro/internal/sim"
 )
@@ -103,8 +101,7 @@ func (a *EvolvingApp) armAttempt(s *Server, j *job.Job) {
 	if at < s.Engine().Now() {
 		at = s.Engine().Now()
 	}
-	label := fmt.Sprintf("%s dynget attempt %d", j.ID, a.attempt+1)
-	s.ScheduleAppEvent(j, at, label, func(now sim.Time) {
+	s.ScheduleAppEvent(j, at, "dynget attempt", func(now sim.Time) {
 		if j.State != job.Running || a.granted {
 			return
 		}

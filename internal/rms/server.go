@@ -150,11 +150,40 @@ func (s *Server) Submit(j *job.Job, app App) {
 	s.requestIteration()
 }
 
-// SubmitAt schedules a submission at a future virtual time.
+// SubmitAt schedules a submission at a future virtual time. The event
+// is handle-free and its label static: submissions happen hundreds of
+// thousands of times per campaign and must not allocate beyond the
+// closure itself.
 func (s *Server) SubmitAt(at sim.Time, j *job.Job, app App) {
-	s.eng.At(at, fmt.Sprintf("submit %s", j.Name), func(sim.Time) {
+	s.eng.ScheduleAt(at, "submit", func(sim.Time) {
 		s.Submit(j, app)
 	})
+}
+
+// SubmitBatch schedules many future submissions in one engine batch —
+// the O(n) bulk-load path for workload generators that lay out a whole
+// experiment's arrivals up front. Items at time zero submit
+// immediately, preserving SubmitAll's original interleaving.
+func (s *Server) SubmitBatch(items []SubmitItem) {
+	batch := make([]sim.Timed, 0, len(items))
+	for _, it := range items {
+		it := it
+		if it.At <= s.eng.Now() {
+			s.Submit(it.Job, it.App)
+			continue
+		}
+		batch = append(batch, sim.Timed{At: it.At, Label: "submit", Fn: func(sim.Time) {
+			s.Submit(it.Job, it.App)
+		}})
+	}
+	s.eng.ScheduleBatch(batch)
+}
+
+// SubmitItem is one entry of a SubmitBatch call.
+type SubmitItem struct {
+	At  sim.Time
+	Job *job.Job
+	App App
 }
 
 // RequestDyn files a dynamic allocation request on behalf of a running
@@ -185,7 +214,7 @@ func (s *Server) RequestDynTimeout(j *job.Job, cores int, timeout sim.Duration) 
 	if err := s.requestDyn(r); err != nil {
 		return err
 	}
-	s.eng.At(r.Deadline, fmt.Sprintf("dyn deadline %s", j.ID), func(sim.Time) {
+	s.eng.ScheduleAt(r.Deadline, "dyn deadline", func(sim.Time) {
 		// Still pending at the deadline: deliver the final rejection.
 		for _, p := range s.dyn {
 			if p == r {
@@ -252,7 +281,7 @@ func (s *Server) ScheduleCompletion(j *job.Job, at sim.Time) {
 	if at < s.eng.Now() {
 		at = s.eng.Now()
 	}
-	s.endEvents[j.ID] = s.eng.At(at, fmt.Sprintf("complete %s", j.ID), func(sim.Time) {
+	s.endEvents[j.ID] = s.eng.At(at, "complete", func(sim.Time) {
 		s.CompleteJob(j)
 	})
 }
@@ -352,7 +381,7 @@ func (s *Server) requestIteration() {
 		return
 	}
 	s.iterPending = true
-	s.eng.At(s.eng.Now(), "maui iteration", func(now sim.Time) {
+	s.eng.ScheduleAt(s.eng.Now(), "maui iteration", func(now sim.Time) {
 		s.iterPending = false
 		res := s.sched.Iterate(now, s)
 		if s.OnIteration != nil {
@@ -416,7 +445,7 @@ func (s *Server) StartJob(j *job.Job) (cluster.Alloc, error) {
 		s.ScheduleCompletion(j, now+j.Walltime)
 	}
 	if s.EnforceWalltime && j.Walltime > 0 {
-		s.ScheduleAppEvent(j, now+j.Walltime, fmt.Sprintf("walltime kill %s", j.ID), func(sim.Time) {
+		s.ScheduleAppEvent(j, now+j.Walltime, "walltime kill", func(sim.Time) {
 			if j.Active() {
 				s.CancelJob(j)
 			}

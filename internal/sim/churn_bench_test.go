@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// churn drives the engine through a deterministic schedule/fire/cancel
+// mix shaped like the rms workload: bursts of scheduled events with a
+// bounded pending window, ~1/4 of them cancelled before firing, the
+// rest fired interleaved with further scheduling. It is the event-queue
+// hot loop a full ESP run executes millions of times.
+func churn(e *Engine, n int, rng *rand.Rand) {
+	noop := func(Time) {}
+	handles := make([]*Event, 0, 1024)
+	scheduled := 0
+	for scheduled < n {
+		burst := 1 + rng.Intn(8)
+		for k := 0; k < burst && scheduled < n; k++ {
+			at := e.Now() + Time(rng.Intn(1000))
+			if rng.Intn(2) == 0 {
+				// Fire-and-forget (submissions, iteration wakeups).
+				e.ScheduleAt(at, "churn", noop)
+			} else {
+				// Cancellable (completions, walltime kills).
+				handles = append(handles, e.At(at, "churn", noop))
+			}
+			scheduled++
+		}
+		if len(handles) > 0 && rng.Intn(4) == 0 {
+			i := rng.Intn(len(handles))
+			handles[i].Cancel()
+			handles[i] = handles[len(handles)-1]
+			handles = handles[:len(handles)-1]
+		}
+		// Keep the pending window bounded, as a live simulation does:
+		// the queue tracks in-flight jobs, not the whole workload.
+		for e.Pending() > 2048 {
+			if !e.Step() {
+				break
+			}
+		}
+		if len(handles) > 1024 {
+			handles = handles[:0]
+		}
+	}
+	e.Run(0)
+}
+
+// BenchmarkEngineChurn measures event-queue schedule/fire/cancel churn
+// at 1e5 and 1e6 events per run (BENCH_campaign.json: sim-engine event
+// churn).
+func BenchmarkEngineChurn(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("events-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				churn(NewEngine(), n, rand.New(rand.NewSource(1)))
+			}
+		})
+	}
+}
+
+// BenchmarkEngineHandleFree measures the fire loop with no cancel
+// handles retained — the dominant pattern (submit events, iteration
+// wakeups, app callbacks that are never cancelled).
+func BenchmarkEngineHandleFree(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		noop := func(Time) {}
+		for k := 0; k < 100_000; k++ {
+			e.ScheduleAt(e.Now()+Time(rng.Intn(1000)), "hf", noop)
+			if e.Pending() > 1024 {
+				for j := 0; j < 512; j++ {
+					e.Step()
+				}
+			}
+		}
+		e.Run(0)
+	}
+}

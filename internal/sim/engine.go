@@ -1,20 +1,19 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a callback scheduled to fire at a virtual time. Events with
+// Event is the cancel handle for a scheduled callback. Events with
 // equal times fire in the order they were scheduled (FIFO), which keeps
 // simulations fully deterministic.
+//
+// Handles exist only for callers that may need to cancel: the engine's
+// queue itself stores events as value slots, and the handle-free
+// ScheduleAt/ScheduleAfter/ScheduleBatch paths allocate no handle at
+// all.
 type Event struct {
 	at     Time
-	seq    uint64
-	fire   func(now Time)
-	index  int // heap index, -1 once popped or cancelled
-	cancel bool
 	label  string
+	cancel bool
 }
 
 // At returns the time the event is scheduled to fire.
@@ -27,47 +26,56 @@ func (e *Event) Label() string { return e.label }
 func (e *Event) Cancelled() bool { return e.cancel }
 
 // Cancel prevents the event from firing. Cancelling an already-fired
-// event is a harmless no-op.
+// event is a harmless no-op. Cancellation is lazy: the queue entry is
+// discarded when it reaches the head, so Cancel itself is O(1).
 func (e *Event) Cancel() { e.cancel = true }
 
-type eventQueue []*Event
+// entry is one queue element: the ordering key plus the index of the
+// value slot holding the callback. Entries are 16 bytes and move by
+// value during sifts, so the heap never touches the heap-allocated
+// world at all.
+type entry struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (a entry) less(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// slot carries the parts of an event the ordering code never looks at.
+// Slots are recycled through a freelist, so steady-state scheduling
+// performs no per-event allocation.
+type slot struct {
+	fire  func(now Time)
+	label string
+	ev    *Event // non-nil only for handle-returning At/After
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// Timed is one element of a ScheduleBatch call.
+type Timed struct {
+	At    Time
+	Label string
+	Fn    func(now Time)
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe
 // for concurrent use; all model code runs inside event callbacks on the
-// caller's goroutine.
+// caller's goroutine. The queue is an index-free 4-ary min-heap over
+// value entries: cancellation never needs to locate an entry mid-heap
+// (it is lazy), so no back-pointers are maintained and sift operations
+// are simple value copies.
 type Engine struct {
-	now    Time
-	seq    uint64
-	queue  eventQueue
-	fired  uint64
-	maxraw int
+	now   Time
+	seq   uint64
+	heap  []entry
+	slots []slot
+	free  []int32
+	fired uint64
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -83,18 +91,49 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events scheduled but not yet fired
 // (including cancelled events not yet discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
-// At schedules fn to run at the absolute virtual time t. Scheduling in
-// the past panics: it always indicates a model bug, and silently
-// reordering time would corrupt every downstream statistic.
-func (e *Engine) At(t Time, label string, fn func(now Time)) *Event {
+// newSlot takes a slot from the freelist or grows the arena.
+func (e *Engine) newSlot(fn func(now Time), label string, ev *Event) int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.slots[idx] = slot{fire: fn, label: label, ev: ev}
+		return idx
+	}
+	e.slots = append(e.slots, slot{fire: fn, label: label, ev: ev})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot clears the slot (releasing the closure and handle to the
+// GC) and returns it to the freelist.
+func (e *Engine) freeSlot(idx int32) {
+	e.slots[idx] = slot{}
+	e.free = append(e.free, idx)
+}
+
+// checkFuture panics on scheduling in the past: it always indicates a
+// model bug, and silently reordering time would corrupt every
+// downstream statistic.
+func (e *Engine) checkFuture(t Time, label string) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %s before now %s", label, FormatTime(t), FormatTime(e.now)))
 	}
-	ev := &Event{at: t, seq: e.seq, fire: fn, label: label}
+}
+
+func (e *Engine) schedule(t Time, label string, fn func(now Time), ev *Event) {
+	idx := e.newSlot(fn, label, ev)
+	e.push(entry{at: t, seq: e.seq, slot: idx})
 	e.seq++
-	heap.Push(&e.queue, ev)
+}
+
+// At schedules fn to run at the absolute virtual time t and returns a
+// cancel handle. Use ScheduleAt when the handle is not needed: it
+// skips the handle allocation entirely.
+func (e *Engine) At(t Time, label string, fn func(now Time)) *Event {
+	e.checkFuture(t, label)
+	ev := &Event{at: t, label: label}
+	e.schedule(t, label, fn, ev)
 	return ev
 }
 
@@ -106,16 +145,119 @@ func (e *Engine) After(d Duration, label string, fn func(now Time)) *Event {
 	return e.At(e.now+d, label, fn)
 }
 
+// ScheduleAt schedules fn at the absolute virtual time t without
+// returning a cancel handle — the allocation-free fast path for the
+// overwhelmingly common fire-and-forget event.
+func (e *Engine) ScheduleAt(t Time, label string, fn func(now Time)) {
+	e.checkFuture(t, label)
+	e.schedule(t, label, fn, nil)
+}
+
+// ScheduleAfter schedules fn d milliseconds from now without a handle.
+func (e *Engine) ScheduleAfter(d Duration, label string, fn func(now Time)) {
+	if d < 0 {
+		d = 0
+	}
+	e.ScheduleAt(e.now+d, label, fn)
+}
+
+// ScheduleBatch schedules many handle-free events in one call,
+// preserving FIFO tie order within the batch. On an empty queue the
+// batch is bulk-loaded and heapified in O(n) instead of n × O(log n)
+// pushes — the workload-submission pattern, where a full experiment's
+// arrivals are scheduled up front.
+func (e *Engine) ScheduleBatch(batch []Timed) {
+	for i := range batch {
+		e.checkFuture(batch[i].At, batch[i].Label)
+	}
+	if len(e.heap) == 0 && len(batch) > 4 {
+		for i := range batch {
+			idx := e.newSlot(batch[i].Fn, batch[i].Label, nil)
+			e.heap = append(e.heap, entry{at: batch[i].At, seq: e.seq, slot: idx})
+			e.seq++
+		}
+		for i := (len(e.heap) - 2) / 4; i >= 0; i-- {
+			e.siftDown(i)
+		}
+		return
+	}
+	for i := range batch {
+		e.schedule(batch[i].At, batch[i].Label, batch[i].Fn, nil)
+	}
+}
+
+// push appends an entry and restores the heap property upward.
+func (e *Engine) push(en entry) {
+	e.heap = append(e.heap, en)
+	h := e.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !en.less(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = en
+}
+
+// popMin removes and returns the minimum entry.
+func (e *Engine) popMin() entry {
+	h := e.heap
+	min := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return min
+}
+
+// siftDown restores the heap property downward from index i.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	en := h[i]
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if h[k].less(h[m]) {
+				m = k
+			}
+		}
+		if !h[m].less(en) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = en
+}
+
 // Step fires the next event. It returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancel {
+	for len(e.heap) > 0 {
+		en := e.popMin()
+		s := &e.slots[en.slot]
+		if s.ev != nil && s.ev.cancel {
+			e.freeSlot(en.slot)
 			continue
 		}
-		e.now = ev.at
+		fn := s.fire
+		e.freeSlot(en.slot)
+		e.now = en.at
 		e.fired++
-		ev.fire(e.now)
+		fn(e.now)
 		return true
 	}
 	return false
@@ -136,12 +278,14 @@ func (e *Engine) Run(limit uint64) {
 // RunUntil fires events with time ≤ deadline, then stops with the clock
 // advanced to the deadline (even if no event fired exactly there).
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.queue) > 0 {
+	for len(e.heap) > 0 {
 		// Peek without popping: index 0 is the heap minimum, but it
-		// may be cancelled; Step handles discarding those.
-		next := e.queue[0]
-		if next.cancel {
-			heap.Pop(&e.queue)
+		// may be cancelled; discard those without firing.
+		next := e.heap[0]
+		s := &e.slots[next.slot]
+		if s.ev != nil && s.ev.cancel {
+			e.popMin()
+			e.freeSlot(next.slot)
 			continue
 		}
 		if next.at > deadline {

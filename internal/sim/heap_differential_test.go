@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// oldEngine is the seed implementation of the event queue — a binary
+// container/heap over per-event pointer nodes — kept verbatim as the
+// differential oracle for the 4-ary value-slot queue. Both engines are
+// driven through identical schedule/cancel scripts and must produce
+// identical firing sequences.
+type oldEvent struct {
+	at     Time
+	seq    uint64
+	fire   func(now Time)
+	index  int
+	cancel bool
+	label  string
+}
+
+type oldQueue []*oldEvent
+
+func (q oldQueue) Len() int { return len(q) }
+func (q oldQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q oldQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *oldQueue) Push(x any) {
+	e := x.(*oldEvent)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *oldQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+type oldEngine struct {
+	now   Time
+	seq   uint64
+	queue oldQueue
+	fired uint64
+}
+
+func (e *oldEngine) At(t Time, label string, fn func(now Time)) *oldEvent {
+	if t < e.now {
+		panic("old: scheduling in the past")
+	}
+	ev := &oldEvent{at: t, seq: e.seq, fire: fn, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+func (e *oldEngine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*oldEvent)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fire(e.now)
+		return true
+	}
+	return false
+}
+
+func (e *oldEngine) Run() {
+	for e.Step() {
+	}
+}
+
+// firing is one observed event execution.
+type firing struct {
+	At    Time
+	Label string
+}
+
+// script is a deterministic schedule/cancel scenario: step i schedules
+// an event at Offsets[i] from the current head time; Cancels marks
+// which previously scheduled events get cancelled before running.
+type script struct {
+	offsets []Time
+	cancels []int  // indices into offsets
+	nested  []bool // event i reschedules a child event when it fires
+}
+
+func genScript(rng *rand.Rand, n int) script {
+	sc := script{
+		offsets: make([]Time, n),
+		nested:  make([]bool, n),
+	}
+	for i := range sc.offsets {
+		// Heavy tie density: many equal times exercise FIFO breaking.
+		sc.offsets[i] = Time(rng.Intn(50))
+		sc.nested[i] = rng.Intn(8) == 0
+	}
+	for i := 0; i < n/5; i++ {
+		sc.cancels = append(sc.cancels, rng.Intn(n))
+	}
+	return sc
+}
+
+// runNew executes the script on the value-slot engine.
+func runNew(sc script) []firing {
+	var got []firing
+	e := NewEngine()
+	events := make([]*Event, len(sc.offsets))
+	for i, off := range sc.offsets {
+		i, off := i, off
+		label := fmt.Sprintf("ev%d", i)
+		fn := func(now Time) {
+			got = append(got, firing{now, label})
+		}
+		if sc.nested[i] {
+			fn = func(now Time) {
+				got = append(got, firing{now, label})
+				e.ScheduleAt(now+off/2+1, label+".child", func(now Time) {
+					got = append(got, firing{now, label + ".child"})
+				})
+			}
+		}
+		events[i] = e.At(off, label, fn)
+	}
+	for _, c := range sc.cancels {
+		events[c].Cancel()
+	}
+	e.Run(0)
+	return got
+}
+
+// runOld executes the same script on the seed engine.
+func runOld(sc script) []firing {
+	var got []firing
+	e := &oldEngine{}
+	events := make([]*oldEvent, len(sc.offsets))
+	for i, off := range sc.offsets {
+		i, off := i, off
+		label := fmt.Sprintf("ev%d", i)
+		fn := func(now Time) {
+			got = append(got, firing{now, label})
+		}
+		if sc.nested[i] {
+			fn = func(now Time) {
+				got = append(got, firing{now, label})
+				e.At(now+off/2+1, label+".child", func(now Time) {
+					got = append(got, firing{now, label + ".child"})
+				})
+			}
+		}
+		events[i] = e.At(off, label, fn)
+	}
+	for _, c := range sc.cancels {
+		events[c].cancel = true
+	}
+	e.Run()
+	return got
+}
+
+// TestHeapDifferential drives the new 4-ary value-slot queue and the
+// seed container/heap queue through 200 random schedule/cancel/nested
+// scripts and requires identical firing sequences — times, labels and
+// order — proving the queue swap cannot perturb any simulation result.
+func TestHeapDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		sc := genScript(rand.New(rand.NewSource(int64(trial))), n)
+		got, want := runNew(sc), runOld(sc)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (n=%d): fired %d events, oracle fired %d", trial, n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: firing %d = %+v, oracle %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScheduleBatchMatchesSequentialAt pins that the O(n) bulk-load
+// path fires in exactly the order sequential At calls would produce,
+// including FIFO ties, both on an empty queue (heapify path) and a
+// non-empty one (push path).
+func TestScheduleBatchMatchesSequentialAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(200)
+		offsets := make([]Time, n)
+		for i := range offsets {
+			offsets[i] = Time(rng.Intn(20))
+		}
+		preload := trial%2 == 1 // alternate empty-queue and mixed-queue starts
+
+		var seq []firing
+		es := NewEngine()
+		if preload {
+			es.At(3, "pre", func(now Time) { seq = append(seq, firing{now, "pre"}) })
+		}
+		for i, off := range offsets {
+			label := fmt.Sprintf("b%d", i)
+			es.At(off, label, func(now Time) { seq = append(seq, firing{now, label}) })
+		}
+		es.Run(0)
+
+		var bat []firing
+		eb := NewEngine()
+		if preload {
+			eb.At(3, "pre", func(now Time) { bat = append(bat, firing{now, "pre"}) })
+		}
+		batch := make([]Timed, n)
+		for i, off := range offsets {
+			label := fmt.Sprintf("b%d", i)
+			batch[i] = Timed{At: off, Label: label, Fn: func(now Time) { bat = append(bat, firing{now, label}) }}
+		}
+		eb.ScheduleBatch(batch)
+		eb.Run(0)
+
+		if len(seq) != len(bat) {
+			t.Fatalf("trial %d: batch fired %d, sequential fired %d", trial, len(bat), len(seq))
+		}
+		for i := range seq {
+			if seq[i] != bat[i] {
+				t.Fatalf("trial %d: firing %d batch=%+v sequential=%+v", trial, i, bat[i], seq[i])
+			}
+		}
+	}
+}
+
+// TestScheduleAtHandleFree covers the no-handle path end to end.
+func TestScheduleAtHandleFree(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	e.ScheduleAt(20, "b", func(now Time) { order = append(order, now) })
+	e.ScheduleAfter(10, "a", func(now Time) { order = append(order, now) })
+	e.ScheduleAfter(-5, "clamped", func(now Time) { order = append(order, now) })
+	e.Run(0)
+	if len(order) != 3 || order[0] != 0 || order[1] != 10 || order[2] != 20 {
+		t.Fatalf("handle-free firing order = %v, want [0 10 20]", order)
+	}
+}
+
+// TestSlotReuse verifies the freelist actually recycles: steady-state
+// churn must not grow the slot arena beyond the high-water pending
+// count.
+func TestSlotReuse(t *testing.T) {
+	e := NewEngine()
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 10; i++ {
+			e.ScheduleAfter(Duration(i), "churn", func(Time) {})
+		}
+		for e.Pending() > 0 {
+			e.Step()
+		}
+	}
+	if len(e.slots) > 16 {
+		t.Fatalf("slot arena grew to %d for a pending window of 10; freelist not recycling", len(e.slots))
+	}
+}
+
+// TestScheduleBatchPastPanics keeps the past-scheduling invariant on
+// the batch path.
+func TestScheduleBatchPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, "adv", func(Time) {})
+	e.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("batch scheduling in the past should panic")
+		}
+	}()
+	e.ScheduleBatch([]Timed{{At: 5, Label: "past", Fn: func(Time) {}}})
+}
