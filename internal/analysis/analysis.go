@@ -50,6 +50,13 @@ type Pass struct {
 	// Report delivers one finding. The driver filters suppressed
 	// diagnostics afterwards, so analyzers report unconditionally.
 	Report func(Diagnostic)
+	// Dep resolves the syntax and types of a dependency package by
+	// import path (nil when the driver cannot provide dependency
+	// sources). Interprocedural analyzers use it to read declarations
+	// from packages the analyzed one imports — e.g. protoexhaustive
+	// reads the message-type registry out of internal/proto while
+	// analyzing a daemon's dispatch switch.
+	Dep func(path string) *Target
 }
 
 // Diagnostic is one finding.
@@ -83,6 +90,9 @@ type Target struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Dep, when set by the driver, resolves an imported package's
+	// Target (see Pass.Dep).
+	Dep func(path string) *Target
 }
 
 // RunAnalyzers applies every analyzer to the package, filters findings
@@ -100,6 +110,7 @@ func RunAnalyzers(t *Target, analyzers []*Analyzer) ([]Finding, error) {
 			Pkg:       t.Pkg,
 			TypesInfo: t.TypesInfo,
 			Report:    func(d Diagnostic) { diags = append(diags, d) },
+			Dep:       t.Dep,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %v", a.Name, err)

@@ -61,7 +61,9 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 		for _, e := range pkg.TypeErrors {
 			t.Errorf("%s: type: %v", path, e)
 		}
-		findings, err := analysis.RunAnalyzers(pkg.Target(), []*analysis.Analyzer{a})
+		target := pkg.Target()
+		target.Dep = l.DepResolver()
+		findings, err := analysis.RunAnalyzers(target, []*analysis.Analyzer{a})
 		if err != nil {
 			t.Errorf("run %s on %s: %v", a.Name, path, err)
 			continue

@@ -1,0 +1,97 @@
+package callgraph_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/loader"
+)
+
+func buildFixture(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := loader.New()
+	l.LocalRoot = filepath.Join(abs, "src")
+	pkg, err := l.LoadPath("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range pkg.ParseErrors {
+		t.Fatalf("parse: %v", e)
+	}
+	for _, e := range pkg.TypeErrors {
+		t.Fatalf("type: %v", e)
+	}
+	var g *callgraph.Graph
+	a := &analysis.Analyzer{
+		Name: "probe",
+		Run: func(pass *analysis.Pass) error {
+			g = callgraph.Build(pass)
+			return nil
+		},
+	}
+	if _, err := analysis.RunAnalyzers(pkg.Target(), []*analysis.Analyzer{a}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func nodeNamed(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q", name)
+	return nil
+}
+
+func TestEdgesAndSpawns(t *testing.T) {
+	g := buildFixture(t)
+	root := nodeNamed(t, g, "root")
+
+	var callees []string
+	var deferred int
+	for _, e := range root.Calls {
+		callees = append(callees, e.Callee.Name)
+		if e.Deferred {
+			deferred++
+		}
+	}
+	want := []string{"helper", "(*T).method", "helper", "root (func literal)"}
+	if len(callees) != len(want) {
+		t.Fatalf("root calls = %v, want %v", callees, want)
+	}
+	for i := range want {
+		if callees[i] != want[i] {
+			t.Fatalf("root calls = %v, want %v", callees, want)
+		}
+	}
+	if deferred != 1 {
+		t.Errorf("deferred edges = %d, want 1", deferred)
+	}
+
+	if len(root.Spawns) != 2 {
+		t.Fatalf("root spawns = %d, want 2", len(root.Spawns))
+	}
+	if root.Spawns[0].Callee == nil || root.Spawns[0].Callee.Name != "helper" {
+		t.Errorf("first spawn should resolve to helper")
+	}
+	if root.Spawns[1].Callee != nil {
+		t.Errorf("spawn of a function value should be unresolved, got %s", root.Spawns[1].Callee.Name)
+	}
+}
+
+func TestGenericCallResolvesToOrigin(t *testing.T) {
+	g := buildFixture(t)
+	caller := nodeNamed(t, g, "callsGeneric")
+	if len(caller.Calls) != 1 || caller.Calls[0].Callee.Name != "generic" {
+		t.Fatalf("callsGeneric edges = %+v, want one edge to generic", caller.Calls)
+	}
+}

@@ -1,0 +1,23 @@
+// Package cg exercises callgraph edge resolution.
+package cg
+
+type T struct{ n int }
+
+func (t *T) method() { t.n++ }
+
+func helper() {}
+
+func root(t *T, fv func()) {
+	helper()           // direct call
+	t.method()         // method call
+	defer helper()     // deferred call
+	func() { t.n++ }() // immediately-invoked literal
+	go helper()        // spawn, resolved
+	go fv()            // spawn, unresolvable function value
+}
+
+func generic[E any](e E) E { return e }
+
+func callsGeneric() {
+	_ = generic(1) // instantiated call resolves to the origin declaration
+}

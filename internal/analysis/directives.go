@@ -91,6 +91,43 @@ func directiveIsDocLine(fset *token.FileSet, f *ast.File, line, fnStart int) boo
 	return false
 }
 
+// Marker is one parsed `//schedlint:<key> <args>` comment. Unlike the
+// `//lint:` directives above — which *suppress* findings — markers
+// *declare* facts the interprocedural analyzers check against: a
+// dispatch switch's role (`//schedlint:dispatch server.mom`) or a
+// package's lock acquisition order
+// (`//schedlint:lockorder Server.mu < Conn.wm`).
+type Marker struct {
+	Key  string
+	Args string
+	Pos  token.Position
+}
+
+const markerPrefix = "//schedlint:"
+
+// Markers returns every `//schedlint:<key>` marker of the given key in
+// the files, in file/position order.
+func Markers(fset *token.FileSet, files []*ast.File, key string) []Marker {
+	var out []Marker
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, markerPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, markerPrefix)
+				k, args, _ := strings.Cut(rest, " ")
+				if k != key {
+					continue
+				}
+				out = append(out, Marker{Key: k, Args: strings.TrimSpace(args), Pos: fset.Position(c.Pos())})
+			}
+		}
+	}
+	return out
+}
+
 // Suppressor answers "is a finding at this position silenced?".
 type Suppressor struct {
 	byFile map[string][]Directive

@@ -1,0 +1,95 @@
+// Package serverd is the goroutinelife golden fixture: spawn sites
+// with and without provable shutdown paths.
+package serverd
+
+import (
+	"context"
+	"sync"
+)
+
+// Server is the daemon singleton.
+type Server struct {
+	done chan struct{}
+	jobs chan int
+	wg   sync.WaitGroup
+}
+
+// --- orphan: the spawned loop drains jobs forever ---
+
+func (s *Server) startOrphan() {
+	go s.pump() // want `no provable shutdown path`
+}
+
+func (s *Server) pump() {
+	for j := range s.jobs {
+		_ = j
+	}
+}
+
+// --- guarded: the loop selects on the lifecycle channel ---
+
+func (s *Server) startGuarded() {
+	go s.loop()
+}
+
+func (s *Server) loop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case j := <-s.jobs:
+			_ = j
+		}
+	}
+}
+
+// --- guarded transitively: the spawned function calls into a guarded one ---
+
+func (s *Server) startIndirect() {
+	go s.run()
+}
+
+func (s *Server) run() {
+	s.loop()
+}
+
+// --- joined: the WaitGroup idiom ---
+
+func (s *Server) startJoined() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for j := range s.jobs {
+			_ = j
+		}
+	}()
+}
+
+// --- context-guarded literal ---
+
+func startCtx(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// --- unresolvable: a spawned function value ---
+
+func startExternal(f func()) {
+	go f() // want `cannot see into`
+}
+
+// --- audited exception ---
+
+func (s *Server) startAudited() {
+	//lint:goroutine fixture: joined synchronously by the receive on the next line
+	go s.pump()
+	<-s.jobs
+}

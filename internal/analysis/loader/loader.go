@@ -119,6 +119,23 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// Lookup returns an already-loaded package by import path (nil when it
+// was never loaded). Dependencies of analyzed packages are loaded —
+// and cached — transitively during type checking, so after Load or
+// LoadPath this resolves any local import the analyzed code mentions.
+func (l *Loader) Lookup(path string) *Package { return l.pkgs[path] }
+
+// DepResolver adapts the loader's cache for analysis.Target.Dep:
+// analyzers ask for an imported package's syntax by path.
+func (l *Loader) DepResolver() func(path string) *analysis.Target {
+	return func(path string) *analysis.Target {
+		if p := l.Lookup(path); p != nil {
+			return p.Target()
+		}
+		return nil
+	}
+}
+
 // LoadPath loads a single import path resolved against LocalRoot / the
 // module.
 func (l *Loader) LoadPath(path string) (*Package, error) {

@@ -8,5 +8,5 @@ import (
 )
 
 func TestLockcheck(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), lockcheck.Analyzer, "serverd")
+	analysistest.Run(t, analysistest.TestData(t), lockcheck.Analyzer, "serverd", "mom")
 }

@@ -1,0 +1,100 @@
+// Package mom is the lockcheck golden fixture for the node daemon: the
+// server-link accessor, the must-deliver outbox with its replay path,
+// and the connection-handling goroutines.
+package mom
+
+import "sync"
+
+type conn struct{ addr string }
+
+func (c *conn) send(t string, payload any) error { return nil }
+
+type outMsg struct {
+	t     string
+	jobID int
+}
+
+type mom struct {
+	mu     sync.Mutex
+	srv    *conn          // guarded by mu: current server link
+	jobs   map[int]string // guarded by mu
+	outbox []outMsg       // guarded by mu: undelivered completions awaiting replay
+	wg     sync.WaitGroup
+}
+
+// server is the accessor shape: one field read under the lock. Clean.
+func (m *mom) server() *conn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.srv
+}
+
+// tellServerBuffered parks undeliverable completions on the outbox,
+// appending under the lock. Clean.
+func (m *mom) tellServerBuffered(t string, jobID int, payload any) {
+	if srv := m.server(); srv != nil {
+		if err := srv.send(t, payload); err == nil {
+			return
+		}
+	}
+	m.mu.Lock()
+	m.outbox = append(m.outbox, outMsg{t: t, jobID: jobID})
+	m.mu.Unlock()
+}
+
+// tellServerRacy skips the lock on the buffering path.
+func (m *mom) tellServerRacy(t string, jobID int) {
+	// Both the write and the read of m.outbox on this line are flagged.
+	m.outbox = append(m.outbox, outMsg{t: t, jobID: jobID}) // want `access to m\.outbox \(guarded by mu\) in tellServerRacy without m\.mu held` `access to m\.outbox \(guarded by mu\) in tellServerRacy without m\.mu held`
+}
+
+// flushOutbox swaps the buffer out under the lock, replays outside it,
+// and re-queues failures under the lock again. Clean.
+func (m *mom) flushOutbox(c *conn) {
+	m.mu.Lock()
+	pending := m.outbox
+	m.outbox = nil
+	m.mu.Unlock()
+	for i, om := range pending {
+		if err := c.send(om.t, nil); err != nil {
+			m.mu.Lock()
+			m.outbox = append(pending[i:], m.outbox...)
+			m.mu.Unlock()
+			return
+		}
+	}
+}
+
+// completionLoop: a spawned worker does not inherit its creator's
+// critical section.
+func (m *mom) completionLoop(id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		delete(m.jobs, id) // want `access to m\.jobs \(guarded by mu\) in completionLoop \(func literal\) without m\.mu held`
+	}()
+}
+
+// completionLoopFixed locks inside the goroutine. Clean.
+func (m *mom) completionLoopFixed(id int) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		delete(m.jobs, id)
+	}()
+}
+
+// reconcileLocked runs with m.mu held by the caller. Clean.
+func (m *mom) reconcileLocked() int {
+	return len(m.jobs) + len(m.outbox)
+}
+
+// dropOutboxLeaky never releases the lock.
+func (m *mom) dropOutboxLeaky() {
+	m.mu.Lock() // want `m\.mu\.Lock\(\) in dropOutboxLeaky without a matching Unlock in the same function`
+	m.outbox = nil
+}

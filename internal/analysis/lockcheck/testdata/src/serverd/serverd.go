@@ -1,82 +1,170 @@
-// Package serverd is a golden-test stand-in for a daemon package with
-// a documented locking discipline.
+// Package serverd is the lockcheck golden fixture, shaped after the
+// live server daemon: a heartbeat/failure monitor, per-node verdict
+// buffers replayed on re-registration, and negotiation-deadline timer
+// callbacks. Each discipline violation the analyzer must catch sits
+// next to the conforming shape that must stay silent.
 package serverd
 
-import "sync"
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// nodeInfo mirrors one registered mom.
+type nodeInfo struct {
+	addr     string
+	lastSeen int64
+	verdicts []string
+}
+
+// jobInfo is the server-side record of one job.
+type jobInfo struct {
+	msNode   string
+	negTimer *time.Timer
+}
 
 type server struct {
-	mu   sync.RWMutex
-	jobs map[int]string // guarded by mu
+	mu    sync.RWMutex
+	nodes map[string]*nodeInfo // guarded by mu
+	jobs  map[int]*jobInfo     // guarded by mu
 	// addr is set once in the constructor and read-only afterwards.
 	addr string
+
+	wg     sync.WaitGroup
+	closed chan struct{}
 }
 
 func newServer() *server {
 	// Composite-literal initialization happens before the server is
 	// shared: no lock needed, and no finding.
-	return &server{jobs: make(map[int]string), addr: "addr"}
+	return &server{
+		nodes:  make(map[string]*nodeInfo),
+		jobs:   make(map[int]*jobInfo),
+		addr:   "addr",
+		closed: make(chan struct{}),
+	}
 }
 
-func (s *server) good(id int) string {
+// monitorLoop is the failure-detector shape: tick, then sweep nodes
+// under the lock. Clean.
+func (s *server) monitorLoop(interval time.Duration, window int64) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		names := make([]string, 0, len(s.nodes))
+		for name := range s.nodes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ni := s.nodes[name]
+			if ni.lastSeen < window {
+				s.failNodeLocked(ni)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// markSeen forgot the lock on the heartbeat hot path.
+func (s *server) markSeen(name string, now int64) {
+	s.nodes[name].lastSeen = now // want `access to s\.nodes \(guarded by mu\) in markSeen without s\.mu held`
+}
+
+// markSeenFixed is the corrected shape.
+func (s *server) markSeenFixed(name string, now int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.jobs[id]
+	s.nodes[name].lastSeen = now
 }
 
-func (s *server) goodRead(id int) string {
+// statNodes takes only the read lock: sufficient. Clean.
+func (s *server) statNodes() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.jobs[id]
+	return len(s.nodes)
 }
 
-func (s *server) bad(id int) string {
-	return s.jobs[id] // want `access to s\.jobs \(guarded by mu\) in bad without s\.mu held`
+// failNodeLocked runs with s.mu held: *Locked convention. Clean.
+func (s *server) failNodeLocked(ni *nodeInfo) {
+	ni.verdicts = nil
 }
 
-func (s *server) lookupLocked(id int) string {
-	return s.jobs[id] // caller holds s.mu: *Locked convention
+// replayVerdictsLocked drains a node's buffered verdicts on
+// re-registration; the caller holds s.mu. Clean.
+func (s *server) replayVerdictsLocked(ni *nodeInfo) []string {
+	pending := ni.verdicts
+	ni.verdicts = nil
+	_ = s.nodes
+	return pending
 }
 
-func (s *server) annotated(id int) string {
-	//lint:locked called only from the single-threaded boot path
-	return s.jobs[id]
+// bufferVerdict leaks the lock on the buffering path: an early return
+// shape where the Unlock never made it in.
+func (s *server) bufferVerdict(name, verdict string) {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) in bufferVerdict without a matching Unlock in the same function`
+	ni := s.nodes[name]
+	ni.verdicts = append(ni.verdicts, verdict)
 }
 
-func (s *server) unguardedIsFine() string {
-	return s.addr
+// statLeaky holds the read lock forever.
+func (s *server) statLeaky() int {
+	s.mu.RLock() // want `s\.mu\.RLock\(\) in statLeaky without a matching RUnlock in the same function`
+	return len(s.jobs)
 }
 
-func (s *server) leaky() {
-	s.mu.Lock() // want `s\.mu\.Lock\(\) in leaky without a matching Unlock in the same function`
-	s.jobs[1] = "x"
-}
-
-func (s *server) rleaky() string {
-	s.mu.RLock() // want `s\.mu\.RLock\(\) in rleaky without a matching RUnlock in the same function`
-	return s.jobs[1]
-}
-
+// multiPathUnlock releases on every path. Clean.
 func (s *server) multiPathUnlock(id int) string {
 	s.mu.Lock()
-	if id < 0 {
+	ji := s.jobs[id]
+	if ji == nil {
 		s.mu.Unlock()
 		return ""
 	}
-	v := s.jobs[id]
+	v := ji.msNode
 	s.mu.Unlock()
 	return v
 }
 
-func (s *server) closureMustLockItself() {
-	go func() {
-		s.jobs[2] = "y" // want `access to s\.jobs \(guarded by mu\) in closureMustLockItself \(func literal\) without s\.mu held`
-	}()
+// armNegTimer: the AfterFunc callback runs on the timer goroutine —
+// it does not inherit the caller's critical section and must lock
+// itself.
+func (s *server) armNegTimer(id int, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ji := s.jobs[id]
+	ji.negTimer = time.AfterFunc(d, func() {
+		delete(s.jobs, id) // want `access to s\.jobs \(guarded by mu\) in armNegTimer \(func literal\) without s\.mu held`
+	})
 }
 
-func (s *server) closureLocksItself() {
-	go func() {
+// armNegTimerFixed is the corrected callback.
+func (s *server) armNegTimerFixed(id int, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ji := s.jobs[id]
+	ji.negTimer = time.AfterFunc(d, func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		s.jobs[2] = "y"
-	}()
+		delete(s.jobs, id)
+	})
+}
+
+// bootSweep is single-threaded by construction and says so.
+func (s *server) bootSweep() {
+	//lint:locked called only from the single-threaded boot path
+	s.jobs = make(map[int]*jobInfo)
+}
+
+// unguardedIsFine reads the constructor-only field. Clean.
+func (s *server) unguardedIsFine() string {
+	return s.addr
 }

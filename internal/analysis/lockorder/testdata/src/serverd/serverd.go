@@ -1,0 +1,156 @@
+// Package serverd is the lockorder golden fixture: condensed daemon
+// shapes that seed each diagnostic class (direct and interprocedural
+// self-deadlock, declared-order violation, ABBA cycle) next to the
+// fixed variants that must stay silent.
+package serverd
+
+import "sync"
+
+// Declared nesting order: the server lock is always outermost.
+//
+//schedlint:lockorder Server.mu < RM.mu
+
+// Server is the daemon singleton.
+type Server struct {
+	mu sync.Mutex
+	rm *RM
+}
+
+// RM is the embedded resource-manager view.
+type RM struct {
+	mu    sync.Mutex
+	free  int
+	owner string
+}
+
+// --- self-deadlock, direct ---
+
+func (s *Server) doubleLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want `Server.mu re-acquired while already held`
+}
+
+// unlockThenRelock releases before re-acquiring: silent.
+func (s *Server) unlockThenRelock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// --- self-deadlock, interprocedural ---
+
+func (s *Server) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.killAll() // want `calls \(\*Server\).killAll with Server.mu held`
+}
+
+func (s *Server) killAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rm.free = 0
+}
+
+// closeFixed uses the *Locked helper convention: the callee asserts
+// rather than acquires. Silent.
+func (s *Server) closeFixed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.killAllLocked()
+}
+
+func (s *Server) killAllLocked() {
+	s.rm.free = 0
+}
+
+// --- declared-order violation ---
+
+// badNesting inverts the declared order; against goodNesting's
+// conforming edge below, that is also a completed ABBA cycle, so the
+// one bad line carries both reports.
+func (s *Server) badNesting() {
+	s.rm.mu.Lock()
+	defer s.rm.mu.Unlock()
+	s.mu.Lock() // want `violates the declared lock order` `lock-order cycle`
+	s.mu.Unlock()
+}
+
+// goodNesting follows Server.mu < RM.mu: silent.
+func (s *Server) goodNesting() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rm.mu.Lock()
+	s.rm.mu.Unlock()
+}
+
+// --- ABBA cycle on locks with no declared order ---
+
+var (
+	planMu    sync.Mutex
+	verdictMu sync.Mutex
+)
+
+func planThenVerdict() {
+	planMu.Lock()
+	defer planMu.Unlock()
+	verdictMu.Lock() // want `lock-order cycle: verdictMu acquired while planMu held`
+	verdictMu.Unlock()
+}
+
+func verdictThenPlan() {
+	verdictMu.Lock()
+	defer verdictMu.Unlock()
+	planMu.Lock()
+	planMu.Unlock()
+}
+
+// --- TryLock never blocks: no acquisition edge ---
+
+var (
+	statMu  sync.Mutex
+	traceMu sync.Mutex
+)
+
+// tryUnderLock TryLocks traceMu while statMu is held; the reverse
+// blocking order exists in traceThenStat, but Try edges do not count,
+// so there is no cycle. Silent.
+func tryUnderLock() {
+	statMu.Lock()
+	defer statMu.Unlock()
+	if traceMu.TryLock() {
+		traceMu.Unlock()
+	}
+}
+
+func traceThenStat() {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	statMu.Lock()
+	statMu.Unlock()
+}
+
+// --- goroutines do not inherit the spawner's held set ---
+
+func (s *Server) spawnUnderLock(wgDone func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		// Runs concurrently: acquiring RM.mu here is not "RM.mu while
+		// Server.mu held", and re-acquiring Server.mu is not a
+		// self-deadlock path.
+		s.rm.mu.Lock()
+		s.rm.mu.Unlock()
+		wgDone()
+	}()
+}
+
+// --- suppression: the directive documents an audited exception ---
+
+func (s *Server) auditedDouble() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:lockorder fixture: audited exception, documents the suppression path
+	s.mu.Lock()
+}

@@ -1,0 +1,12 @@
+package protoexhaustive_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/protoexhaustive"
+)
+
+func TestProtoExhaustive(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), protoexhaustive.Analyzer, "proto", "serverd")
+}

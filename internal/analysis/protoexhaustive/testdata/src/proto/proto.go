@@ -1,0 +1,25 @@
+// Package proto is the protoexhaustive registry fixture: a condensed
+// message-type table with one constant missing its dispatch
+// annotation.
+package proto
+
+// MsgType tags an envelope's payload.
+type MsgType string
+
+// Message types.
+const (
+	TQSub  MsgType = "qsub"  // dispatch:server.conn
+	TQStat MsgType = "qstat" // dispatch:server.conn
+
+	TQSubResp MsgType = "qsub.resp" // dispatch:reply
+
+	THeartbeat MsgType = "mom.heartbeat" // dispatch:server.mom
+	TJobDone   MsgType = "mom.jobdone"   // dispatch:server.mom,reply
+
+	TOrphan MsgType = "orphan" // want `message type TOrphan has no dispatch`
+)
+
+// Envelope frames every message.
+type Envelope struct {
+	Type MsgType
+}

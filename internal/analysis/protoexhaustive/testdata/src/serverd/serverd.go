@@ -1,0 +1,50 @@
+// Package serverd is the protoexhaustive dispatch fixture: declared
+// switches that drift from the registry in each direction, an
+// undeclared switch, and the conforming shapes that stay silent.
+package serverd
+
+import "proto"
+
+// dispatchConn drifts three ways: it forgot a registered tag, handles
+// a tag nobody registered, and poaches a tag registered to another
+// role.
+func dispatchConn(env proto.Envelope) {
+	//schedlint:dispatch server.conn
+	switch env.Type { // want `dispatch switch for role "server.conn" does not handle TQStat`
+	case proto.TQSub:
+	case proto.MsgType("bogus"): // want `case "bogus" is not a registered message type`
+	case proto.TJobDone: // want `case TJobDone is not registered for dispatch role "server.conn"`
+	}
+}
+
+// dispatchMom is complete for its role: silent.
+func dispatchMom(env proto.Envelope) {
+	//schedlint:dispatch server.mom
+	switch env.Type {
+	case proto.THeartbeat:
+	case proto.TJobDone:
+	default:
+	}
+}
+
+// dispatchUnmarked has no role declaration at all.
+func dispatchUnmarked(t proto.MsgType) {
+	switch t { // want `switch over proto.MsgType without a //schedlint:dispatch`
+	case proto.TQSub, proto.TQStat:
+	}
+}
+
+// dispatchTypo declares a role nothing registers for.
+func dispatchTypo(t proto.MsgType) {
+	//schedlint:dispatch server.con
+	switch t { // want `no message types are registered for dispatch role "server.con"`
+	case proto.TQSub:
+	}
+}
+
+// notDispatch switches over a plain string: out of scope, silent.
+func notDispatch(s string) {
+	switch s {
+	case "qsub":
+	}
+}

@@ -414,6 +414,7 @@ func (s *Scheduler) processDynRequest(pc *planContext, rm ResourceManager, req *
 		// so they run concurrently.
 		candFull = true
 		baseP := base.CloneInto(&s.baseBuf)
+		//lint:goroutine joined two statements down by the blocking receive from s.planDone
 		go func() {
 			s.planDone <- planJobs(baseP, pc.ordered, now, s.maxHeld())
 		}()

@@ -2,6 +2,7 @@ package mauid
 
 import (
 	"fmt"
+	"repro/internal/testutil/leak"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 // connections makes several iterations fail; the daemon must back off
 // and resume scheduling once the path heals, without being restarted.
 func TestChaosSchedulerSurvivesServerOutage(t *testing.T) {
+	leak.Check(t)
 	srv, _ := externalClusterNoSched(t, 1, 8)
 	p := chaos.New(srv.Addr(), chaos.Options{})
 	if err := p.Start("127.0.0.1:0"); err != nil {
@@ -53,6 +55,7 @@ func TestChaosSchedulerSurvivesServerOutage(t *testing.T) {
 // one must resume scheduling — the daemon is stateless by design, so
 // a queued job just waits for the replacement.
 func TestChaosSchedulerRestart(t *testing.T) {
+	leak.Check(t)
 	srv, d := externalCluster(t, 1, 8)
 	id, err := srv.QSub(proto.JobSpec{
 		Name: "first", User: "u", Cores: 8, WallSecs: 60, Script: "sleep:20ms",

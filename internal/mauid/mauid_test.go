@@ -3,6 +3,7 @@ package mauid
 import (
 	"context"
 	"fmt"
+	"repro/internal/testutil/leak"
 	"testing"
 	"time"
 
@@ -52,6 +53,7 @@ func waitState(t *testing.T, srv *serverd.Server, id int, want string, timeout t
 }
 
 func TestExternalSchedulerRunsJobs(t *testing.T) {
+	leak.Check(t)
 	srv, _ := externalCluster(t, 2, 8)
 	id, err := srv.QSub(proto.JobSpec{
 		Name: "ext", User: "u", Cores: 12, WallSecs: 60, Script: "sleep:40ms",
@@ -63,6 +65,7 @@ func TestExternalSchedulerRunsJobs(t *testing.T) {
 }
 
 func TestExternalSchedulerQueueDrains(t *testing.T) {
+	leak.Check(t)
 	srv, _ := externalCluster(t, 1, 8)
 	var ids []int
 	for i := 0; i < 4; i++ {
@@ -80,6 +83,7 @@ func TestExternalSchedulerQueueDrains(t *testing.T) {
 }
 
 func TestExternalSchedulerDynGet(t *testing.T) {
+	leak.Check(t)
 	srv, d := externalCluster(t, 2, 8)
 	granted := make(chan []proto.HostSlice, 1)
 	mom.RegisterGoApp("ext-grower", func(ctx context.Context, tmc *tm.Context) error {
@@ -117,6 +121,7 @@ func TestExternalSchedulerDynGet(t *testing.T) {
 }
 
 func TestMirrorFromSnapshot(t *testing.T) {
+	leak.Check(t)
 	st := &proto.SchedState{
 		NowMS: 1000,
 		Nodes: []proto.NodeStatus{
@@ -160,6 +165,7 @@ func TestMirrorFromSnapshot(t *testing.T) {
 }
 
 func TestMirrorOverfullSnapshot(t *testing.T) {
+	leak.Check(t)
 	st := &proto.SchedState{
 		Nodes: []proto.NodeStatus{{Name: "n0", Cores: 8, Used: 9, State: "up"}},
 	}
@@ -169,6 +175,7 @@ func TestMirrorOverfullSnapshot(t *testing.T) {
 }
 
 func TestParseState(t *testing.T) {
+	leak.Check(t)
 	for _, s := range []job.State{job.Queued, job.Running, job.DynQueued, job.Completed} {
 		got, err := parseState(s.String())
 		if err != nil || got != s {

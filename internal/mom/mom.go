@@ -342,6 +342,7 @@ func (m *Mom) handleConn(c *proto.Conn) {
 		return
 	}
 	c.SetReadTimeout(0)
+	//schedlint:dispatch mom.conn
 	switch env.Type {
 	case proto.TTMDynGet:
 		var req proto.TMDynGetReq
@@ -565,6 +566,7 @@ func (m *Mom) recvLoop(c *proto.Conn) {
 			_ = c.Close()
 			return
 		}
+		//schedlint:dispatch mom.server
 		switch env.Type {
 		case proto.TRunJob:
 			var req proto.RunJobReq
@@ -601,13 +603,32 @@ func (m *Mom) reconnect() (*proto.Conn, bool) {
 			m.logf("reconnect attempt %d: %v", attempt+1, err)
 			continue
 		}
-		m.mu.Lock()
-		m.srv = srv
-		m.mu.Unlock()
+		if !m.installServerConn(srv) {
+			return nil, false
+		}
 		m.logf("reconnected to server after %d attempt(s)", attempt+1)
 		m.flushOutbox(srv)
 		return srv, true
 	}
+}
+
+// installServerConn publishes a freshly dialed server link, unless the
+// mom closed while the dial was in flight. Close() already closed
+// whatever link it saw, so it can never see this one: installing it
+// would park serverLoop in Recv on a connection nobody closes and hang
+// Close's wg.Wait. Close() publishes m.closed before reading m.srv
+// under mu, so checking under the same mutex makes the install atomic
+// against it; the losing side discards the connection.
+func (m *Mom) installServerConn(srv *proto.Conn) bool {
+	m.mu.Lock()
+	if m.isClosed() {
+		m.mu.Unlock()
+		_ = srv.Close()
+		return false
+	}
+	m.srv = srv
+	m.mu.Unlock()
+	return true
 }
 
 // heartbeatLoop sends a periodic liveness beacon so the server can

@@ -2,13 +2,17 @@ package mom
 
 import (
 	"context"
+	"net"
 	"testing"
+	"time"
 
 	"repro/internal/proto"
+	"repro/internal/testutil/leak"
 	"repro/internal/tm"
 )
 
 func TestSubtractHosts(t *testing.T) {
+	leak.Check(t)
 	have := []proto.HostSlice{
 		{Node: "n0", Cores: 8},
 		{Node: "n1", Cores: 4},
@@ -42,6 +46,7 @@ func TestSubtractHosts(t *testing.T) {
 }
 
 func TestRegisterGoAppDuplicatePanics(t *testing.T) {
+	leak.Check(t)
 	RegisterGoApp("dup-app-test", func(context.Context, *tm.Context) error { return nil })
 	defer func() {
 		if recover() == nil {
@@ -52,6 +57,7 @@ func TestRegisterGoAppDuplicatePanics(t *testing.T) {
 }
 
 func TestLaunchScriptErrors(t *testing.T) {
+	leak.Check(t)
 	m := New("testnode", 8)
 	tmc := &tm.Context{JobID: 1, MomAddr: "127.0.0.1:1"}
 	ctx := context.Background()
@@ -73,6 +79,7 @@ func TestLaunchScriptErrors(t *testing.T) {
 }
 
 func TestLaunchSleepCancellation(t *testing.T) {
+	leak.Check(t)
 	m := New("testnode2", 8)
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
@@ -86,6 +93,7 @@ func TestLaunchSleepCancellation(t *testing.T) {
 }
 
 func TestLaunchExec(t *testing.T) {
+	leak.Check(t)
 	m := New("testnode3", 8)
 	if err := m.launch(context.Background(), "exec:true", &tm.Context{JobID: 5, MomAddr: "x"}); err != nil {
 		t.Errorf("exec true: %v", err)
@@ -96,6 +104,7 @@ func TestLaunchExec(t *testing.T) {
 }
 
 func TestMomAddrBeforeStart(t *testing.T) {
+	leak.Check(t)
 	m := New("n", 4)
 	if m.Addr() != "" {
 		t.Error("Addr before Start should be empty")
@@ -109,10 +118,53 @@ func TestMomAddrBeforeStart(t *testing.T) {
 }
 
 func TestStartFailsWithoutServer(t *testing.T) {
+	leak.Check(t)
 	m := New("lonely", 4)
 	// 127.0.0.1:1 is essentially guaranteed closed.
 	if err := m.Start("127.0.0.1:0", "127.0.0.1:1"); err == nil {
 		m.Close()
 		t.Error("Start must fail when the server is unreachable")
 	}
+}
+
+// TestReconnectInstallLosesToClose pins the reconnect/Close race: a
+// dial that completes after Close() has run must not be installed as
+// the server link — Close already closed whatever link it saw, so a
+// late install would leave serverLoop parked in Recv forever. The
+// loser must also close the fresh connection (the peer sees EOF).
+func TestReconnectInstallLosesToClose(t *testing.T) {
+	leak.Check(t)
+	m := New("racer", 4)
+	m.Close()
+
+	ours, theirs := net.Pipe()
+	if m.installServerConn(proto.NewConn(ours)) {
+		t.Fatal("install must lose to a completed Close")
+	}
+	if m.server() != nil {
+		t.Fatal("closed mom must not hold a server link")
+	}
+	// The discarded connection must be closed, not leaked: the peer's
+	// read unblocks with an error.
+	theirs.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := theirs.Read(make([]byte, 1)); err == nil {
+		t.Fatal("discarded connection was not closed")
+	}
+}
+
+// TestReconnectInstallWinsWhileOpen is the happy path of the same
+// guard: before Close, the install publishes the link.
+func TestReconnectInstallWinsWhileOpen(t *testing.T) {
+	leak.Check(t)
+	m := New("racer2", 4)
+	ours, theirs := net.Pipe()
+	defer theirs.Close()
+	c := proto.NewConn(ours)
+	if !m.installServerConn(c) {
+		t.Fatal("install must win while the mom is open")
+	}
+	if m.server() != c {
+		t.Fatal("installed link not published")
+	}
+	m.Close()
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"repro/internal/testutil/leak"
 	"testing"
 	"time"
 )
@@ -58,6 +59,7 @@ func roundTrip(c net.Conn, msg string) (string, error) {
 }
 
 func TestChaosProxyForwards(t *testing.T) {
+	leak.Check(t)
 	p := startProxy(t, echoServer(t), Options{})
 	c, err := net.Dial("tcp", p.Addr())
 	if err != nil {
@@ -74,6 +76,7 @@ func TestChaosProxyForwards(t *testing.T) {
 }
 
 func TestChaosProxyRefuseNext(t *testing.T) {
+	leak.Check(t)
 	p := startProxy(t, echoServer(t), Options{})
 	p.RefuseNext(1)
 	c, err := net.Dial("tcp", p.Addr())
@@ -99,6 +102,7 @@ func TestChaosProxyRefuseNext(t *testing.T) {
 }
 
 func TestChaosProxySeverAll(t *testing.T) {
+	leak.Check(t)
 	p := startProxy(t, echoServer(t), Options{})
 	c, err := net.Dial("tcp", p.Addr())
 	if err != nil {
@@ -120,6 +124,7 @@ func TestChaosProxySeverAll(t *testing.T) {
 }
 
 func TestChaosProxyBlackhole(t *testing.T) {
+	leak.Check(t)
 	p := startProxy(t, echoServer(t), Options{})
 	p.Blackhole(true)
 	c, err := net.Dial("tcp", p.Addr())
@@ -143,6 +148,7 @@ func TestChaosProxyBlackhole(t *testing.T) {
 // TestChaosProxyScheduledFaults: with FailRate 1 every connection is a
 // victim, and the same seed must make the same decisions on every run.
 func TestChaosProxyScheduledFaults(t *testing.T) {
+	leak.Check(t)
 	p := startProxy(t, echoServer(t), Options{Seed: 7, FailRate: 1})
 	for i := 0; i < 3; i++ {
 		c, err := net.Dial("tcp", p.Addr())

@@ -26,48 +26,51 @@ import (
 // MsgType tags an envelope's payload.
 type MsgType string
 
-// Message types.
+// Message types. The trailing `dispatch:<role>` annotation names the
+// dispatch switch that consumes each message (schedlint's
+// protoexhaustive analyzer keeps the two in lockstep); `dispatch:reply`
+// marks responses read inline on the requesting connection.
 const (
 	// Client → server.
-	TQSub  MsgType = "qsub"
-	TQStat MsgType = "qstat"
-	TQDel  MsgType = "qdel"
+	TQSub  MsgType = "qsub"  // dispatch:server.conn
+	TQStat MsgType = "qstat" // dispatch:server.conn
+	TQDel  MsgType = "qdel"  // dispatch:server.conn
 
 	// Server → client.
-	TQSubResp  MsgType = "qsub.resp"
-	TQStatResp MsgType = "qstat.resp"
+	TQSubResp  MsgType = "qsub.resp"  // dispatch:reply
+	TQStatResp MsgType = "qstat.resp" // dispatch:reply
 
 	// Mom → server.
-	TRegister  MsgType = "mom.register"
-	TJobDone   MsgType = "mom.jobdone"
-	TDynGet    MsgType = "mom.dynget"    // forwarded tm_dynget (mother superior only)
-	TDynFree   MsgType = "mom.dynfree"   // forwarded tm_dynfree
-	THeartbeat MsgType = "mom.heartbeat" // liveness beacon on the persistent link
+	TRegister  MsgType = "mom.register"  // dispatch:server.conn
+	TJobDone   MsgType = "mom.jobdone"   // dispatch:server.mom
+	TDynGet    MsgType = "mom.dynget"    // dispatch:server.mom — forwarded tm_dynget (mother superior only)
+	TDynFree   MsgType = "mom.dynfree"   // dispatch:server.mom — forwarded tm_dynfree
+	THeartbeat MsgType = "mom.heartbeat" // dispatch:server.mom — liveness beacon on the persistent link
 
 	// Server → mom.
-	TRunJob     MsgType = "srv.runjob"
-	TKillJob    MsgType = "srv.killjob"
-	TDynGetResp MsgType = "srv.dynget.resp"
+	TRunJob     MsgType = "srv.runjob"      // dispatch:mom.server
+	TKillJob    MsgType = "srv.killjob"     // dispatch:mom.server
+	TDynGetResp MsgType = "srv.dynget.resp" // dispatch:mom.server
 
 	// Mom ↔ mom.
-	TJoin       MsgType = "mom.join"
-	TDynJoin    MsgType = "mom.dynjoin"
-	TDynDisjoin MsgType = "mom.dyndisjoin"
+	TJoin       MsgType = "mom.join"       // dispatch:mom.conn
+	TDynJoin    MsgType = "mom.dynjoin"    // dispatch:mom.conn
+	TDynDisjoin MsgType = "mom.dyndisjoin" // dispatch:mom.conn
 
 	// App ↔ mom (the TM interface).
-	TTMDynGet  MsgType = "tm.dynget"
-	TTMDynFree MsgType = "tm.dynfree"
-	TTMDone    MsgType = "tm.done"
-	TTMResp    MsgType = "tm.resp"
+	TTMDynGet  MsgType = "tm.dynget"  // dispatch:mom.conn
+	TTMDynFree MsgType = "tm.dynfree" // dispatch:mom.conn
+	TTMDone    MsgType = "tm.done"    // dispatch:mom.conn
+	TTMResp    MsgType = "tm.resp"    // dispatch:reply
 
 	// Scheduler ↔ server (external Maui daemon).
-	TSchedPull   MsgType = "sched.pull"
-	TSchedState  MsgType = "sched.state"
-	TSchedCommit MsgType = "sched.commit"
+	TSchedPull   MsgType = "sched.pull"   // dispatch:server.conn
+	TSchedState  MsgType = "sched.state"  // dispatch:reply
+	TSchedCommit MsgType = "sched.commit" // dispatch:server.conn
 
 	// Generic replies.
-	TOK    MsgType = "ok"
-	TError MsgType = "error"
+	TOK    MsgType = "ok"    // dispatch:reply
+	TError MsgType = "error" // dispatch:reply
 )
 
 // Envelope frames every message.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"repro/internal/testutil/leak"
 	"testing"
 	"time"
 
@@ -84,6 +85,7 @@ func nodeState(srv *Server, name string) string {
 // job runs. The heartbeat monitor must declare the node down and the
 // default failure policy must cancel the job, releasing every core.
 func TestChaosMomKilledMidJobCancel(t *testing.T) {
+	leak.Check(t)
 	srv, moms := failoverCluster(t, 2, 8,
 		Options{HeartbeatInterval: 25 * time.Millisecond},
 		func(m *mom.Mom) { m.HeartbeatInterval = 10 * time.Millisecond })
@@ -115,6 +117,7 @@ func TestChaosMomKilledMidJobCancel(t *testing.T) {
 // TestChaosMomKilledMidJobRequeue: with FailRequeue the job must
 // restart from scratch on the surviving node and complete.
 func TestChaosMomKilledMidJobRequeue(t *testing.T) {
+	leak.Check(t)
 	srv, moms := failoverCluster(t, 2, 8,
 		Options{HeartbeatInterval: 25 * time.Millisecond, FailurePolicy: rms.FailRequeue},
 		func(m *mom.Mom) { m.HeartbeatInterval = 10 * time.Millisecond })
@@ -150,6 +153,7 @@ func TestChaosMomKilledMidJobRequeue(t *testing.T) {
 // timer) must be dropped with the job, and the in-process application
 // must be unblocked rather than left waiting forever.
 func TestChaosMomKilledWithPendingDyn(t *testing.T) {
+	leak.Check(t)
 	srv, moms := failoverCluster(t, 2, 8,
 		Options{HeartbeatInterval: 25 * time.Millisecond},
 		func(m *mom.Mom) { m.HeartbeatInterval = 10 * time.Millisecond })
@@ -198,6 +202,7 @@ func TestChaosMomKilledWithPendingDyn(t *testing.T) {
 // TestChaosReRegistrationRepairsNode: a node declared down comes back
 // (a fresh mom with the same name) and must be schedulable again.
 func TestChaosReRegistrationRepairsNode(t *testing.T) {
+	leak.Check(t)
 	srv, moms := failoverCluster(t, 1, 8,
 		Options{HeartbeatInterval: 20 * time.Millisecond},
 		func(m *mom.Mom) { m.HeartbeatInterval = 10 * time.Millisecond })
@@ -234,6 +239,7 @@ func TestChaosReRegistrationRepairsNode(t *testing.T) {
 // be buffered and replayed after the mom auto-reconnects, resolving
 // the application's parked tm_dynget with the real grant.
 func TestChaosVerdictBufferedAndReplayed(t *testing.T) {
+	leak.Check(t)
 	srv, _ := failoverCluster(t, 2, 8, Options{}, func(m *mom.Mom) {
 		m.AutoReconnect = true
 		m.ReconnectBase = 150 * time.Millisecond
@@ -324,6 +330,7 @@ func TestChaosVerdictBufferedAndReplayed(t *testing.T) {
 // while the mom is down keeps re-dialing with backoff and succeeds
 // once a mom is listening again; with the zero default it fails fast.
 func TestChaosTMRetryAcrossMomRestart(t *testing.T) {
+	leak.Check(t)
 	srv, _ := failoverCluster(t, 1, 8, Options{}, nil)
 	// Reserve a loopback port, then free it: this is where the
 	// "restarted" mom will come up.
@@ -365,6 +372,7 @@ func TestChaosTMRetryAcrossMomRestart(t *testing.T) {
 // granted, the AfterFunc must be stopped and dropped so no late
 // rejection can fire at the original deadline.
 func TestDynNegotiationTimerReleased(t *testing.T) {
+	leak.Check(t)
 	srv, _ := failoverCluster(t, 2, 8, Options{}, nil)
 	granted := make(chan error, 1)
 	mom.RegisterGoApp("timer-check", func(ctx context.Context, tmc *tm.Context) error {
@@ -416,6 +424,7 @@ func TestDynNegotiationTimerReleased(t *testing.T) {
 // (beacons disabled) must be declared down — the detector keys on
 // liveness, not activity.
 func TestChaosHeartbeatKeepsIdleNodeAlive(t *testing.T) {
+	leak.Check(t)
 	srv, _ := failoverCluster(t, 2, 8,
 		Options{HeartbeatInterval: 25 * time.Millisecond},
 		func(m *mom.Mom) {

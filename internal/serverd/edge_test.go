@@ -2,6 +2,7 @@ package serverd
 
 import (
 	"fmt"
+	"repro/internal/testutil/leak"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 // TestStaleSchedCommitSkipped: a commit that references jobs in states
 // the server has moved past must be skipped gracefully, never applied.
 func TestStaleSchedCommitSkipped(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 1, 8)
 	id, err := srv.QSub(proto.JobSpec{
 		Name: "j", User: "u", Cores: 4, WallSecs: 60, Script: "sleep:50ms",
@@ -38,6 +40,7 @@ func TestStaleSchedCommitSkipped(t *testing.T) {
 // TestSchedPullSnapshotContents checks the external-scheduler snapshot
 // carries consistent queue/node/dyn state.
 func TestSchedPullSnapshotContents(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 2, 8)
 	// One running job and one queued (too big).
 	runID, _ := srv.QSub(proto.JobSpec{Name: "r", User: "u", Cores: 8, WallSecs: 60, Script: "sleep:1m"})
@@ -77,6 +80,7 @@ func TestSchedPullSnapshotContents(t *testing.T) {
 // TestMomReRegistration: a mom that reconnects under the same node
 // name must not duplicate the node.
 func TestMomReRegistration(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 1, 8)
 	m2 := mom.New("node0", 8) // same name as the existing mom
 	if err := m2.Start("127.0.0.1:0", srv.Addr()); err != nil {
@@ -98,6 +102,7 @@ func TestMomReRegistration(t *testing.T) {
 
 // TestQDelUnknownJobIsNoop and double-deletion safety.
 func TestQDelUnknownJob(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 1, 8)
 	srv.QDel(12345) // no panic, no effect
 	id, _ := srv.QSub(proto.JobSpec{Name: "x", User: "u", Cores: 4, WallSecs: 60, Script: "sleep:10m"})
@@ -110,6 +115,7 @@ func TestQDelUnknownJob(t *testing.T) {
 // TestUnexpectedFirstMessage: a connection opening with a non-protocol
 // message gets an error reply and the server stays healthy.
 func TestUnexpectedFirstMessage(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 1, 8)
 	c, err := proto.Dial(srv.Addr())
 	if err != nil {
@@ -131,6 +137,7 @@ func TestUnexpectedFirstMessage(t *testing.T) {
 
 // TestManyConcurrentClients hammers qsub/qstat concurrently.
 func TestManyConcurrentClients(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 2, 8)
 	done := make(chan error, 20)
 	for i := 0; i < 20; i++ {

@@ -3,6 +3,7 @@ package serverd
 import (
 	"context"
 	"fmt"
+	"repro/internal/testutil/leak"
 	"testing"
 	"time"
 
@@ -59,6 +60,7 @@ func jobState(srv *Server, id int) string {
 }
 
 func TestLiveJobLifecycle(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 2, 8)
 	id, err := srv.QSub(proto.JobSpec{
 		Name: "hello", User: "alice", Cores: 12, WallSecs: 60, Script: "sleep:50ms",
@@ -81,6 +83,7 @@ func TestLiveJobLifecycle(t *testing.T) {
 }
 
 func TestLiveQSubValidation(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 1, 8)
 	if _, err := srv.QSub(proto.JobSpec{User: "u", WallSecs: 10, Script: "sleep:1ms"}); err == nil {
 		t.Error("zero-core job must be rejected")
@@ -91,6 +94,7 @@ func TestLiveQSubValidation(t *testing.T) {
 }
 
 func TestLiveClientProtocol(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 1, 8)
 	// qsub over TCP.
 	c, err := proto.Dial(srv.Addr())
@@ -123,6 +127,7 @@ func TestLiveClientProtocol(t *testing.T) {
 }
 
 func TestLiveQDel(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 1, 8)
 	id, err := srv.QSub(proto.JobSpec{
 		Name: "victim", User: "u", Cores: 8, WallSecs: 600, Script: "sleep:10m",
@@ -146,6 +151,7 @@ func TestLiveQDel(t *testing.T) {
 }
 
 func TestLiveDynGetGrantAndJoin(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 3, 8)
 	gotHosts := make(chan []proto.HostSlice, 1)
 	mom.RegisterGoApp("grower-test", func(ctx context.Context, tmc *tm.Context) error {
@@ -191,6 +197,7 @@ func TestLiveDynGetGrantAndJoin(t *testing.T) {
 }
 
 func TestLiveDynGetRejected(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 1, 8)
 	verdict := make(chan error, 1)
 	mom.RegisterGoApp("greedy-test", func(ctx context.Context, tmc *tm.Context) error {
@@ -215,6 +222,7 @@ func TestLiveDynGetRejected(t *testing.T) {
 }
 
 func TestLiveDynFree(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 2, 8)
 	freed := make(chan error, 1)
 	mom.RegisterGoApp("releaser-test", func(ctx context.Context, tmc *tm.Context) error {
@@ -253,6 +261,7 @@ func TestLiveDynFree(t *testing.T) {
 }
 
 func TestLiveWalltimeEnforcement(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 1, 8)
 	id, err := srv.QSub(proto.JobSpec{
 		Name: "overrun", User: "u", Cores: 8, WallSecs: 1, Script: "sleep:1h",
@@ -270,6 +279,7 @@ func TestLiveWalltimeEnforcement(t *testing.T) {
 }
 
 func TestLiveQueueingAndBackfill(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 2, 8)
 	// Fill the cluster, then queue a big job and a small one that
 	// backfills.
@@ -286,6 +296,7 @@ func TestLiveQueueingAndBackfill(t *testing.T) {
 // real sockets: the first request waits out a blocker and is granted;
 // the second expires at its deadline with a rejection.
 func TestLiveNegotiationTimeout(t *testing.T) {
+	leak.Check(t)
 	srv := liveCluster(t, 2, 8)
 	granted := make(chan error, 1)
 	mom.RegisterGoApp("negotiator-live", func(ctx context.Context, tmc *tm.Context) error {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"repro/internal/testutil/leak"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -21,6 +22,7 @@ import (
 // sockets. Asserts full completion, at least one grant, at least one
 // retry path exercised, and zero resource leakage.
 func TestLiveMiniESP(t *testing.T) {
+	leak.Check(t)
 	if testing.Short() {
 		t.Skip("real-time workload")
 	}

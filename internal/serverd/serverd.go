@@ -263,6 +263,7 @@ func (s *Server) handleConn(c *proto.Conn) {
 		_ = c.Close()
 		return
 	}
+	//schedlint:dispatch server.conn
 	switch env.Type {
 	case proto.TRegister:
 		var req proto.RegisterReq
@@ -358,6 +359,7 @@ func (s *Server) registerMom(c *proto.Conn, req proto.RegisterReq) {
 		s.mu.Lock()
 		ni.lastSeen = s.now()
 		s.mu.Unlock()
+		//schedlint:dispatch server.mom
 		switch env.Type {
 		case proto.THeartbeat:
 			// lastSeen above is the whole point; nothing else to do.

@@ -1,0 +1,132 @@
+// Package leak is a stdlib-only goroutine-leak detector for the daemon
+// test suites. A test calls Check(t) first thing; at cleanup the
+// package diffs the live goroutine set against the entry snapshot and
+// fails the test if goroutines born during the test are still running.
+//
+// Daemons here promise "Close returns only after every goroutine it
+// started has exited" — that promise is exactly what a snapshot-and-
+// diff can enforce, and it is the property the goroutinelife analyzer
+// proves statically; this helper is the dynamic half of the contract.
+//
+// Goroutines are identified by id (parsed from runtime.Stack output),
+// so a pre-existing background goroutine never counts against a test.
+// Shutdown is asynchronous at the runtime level even after a clean
+// join (the goroutine's stack may linger briefly after Done/close), so
+// the diff polls with a grace period before declaring a leak.
+package leak
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long Check waits for stragglers before failing.
+const grace = 2 * time.Second
+
+// Check snapshots the live goroutines and registers a cleanup that
+// fails t if goroutines created during the test outlive it.
+func Check(t *testing.T) {
+	t.Helper()
+	snap := Snapshot()
+	t.Cleanup(func() {
+		if t.Failed() {
+			return // don't pile a leak report onto a real failure
+		}
+		if strays := Stray(snap, grace); len(strays) > 0 {
+			t.Errorf("leaked %d goroutine(s):\n%s", len(strays), strings.Join(strays, "\n"))
+		}
+	})
+}
+
+// Snapshot returns the ids of all currently live goroutines.
+func Snapshot() map[int]bool {
+	out := make(map[int]bool)
+	for _, g := range stacks() {
+		out[g.id] = true
+	}
+	return out
+}
+
+// Stray returns the stacks of interesting goroutines that are live but
+// absent from snap, polling until the set is empty or the grace period
+// expires.
+func Stray(snap map[int]bool, grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	for {
+		var strays []string
+		for _, g := range stacks() {
+			if !snap[g.id] && interesting(g.stack) {
+				strays = append(strays, fmt.Sprintf("goroutine %d:\n%s", g.id, g.stack))
+			}
+		}
+		if len(strays) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return strays
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// ignored are stack substrings that mark runtime/testing machinery,
+// not code under test.
+var ignored = []string{
+	"testing.RunTests",
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.tRunner",
+	"testing.runFuzzing",
+	"runtime.goexit",
+	"os/signal.signal_recv",
+	"runtime/trace.Start",
+}
+
+func interesting(stack string) bool {
+	// A goroutine blocked inside testing machinery (tRunner, T.Run) is
+	// the harness, not code under test; the caller of Stray itself is
+	// always such a goroutine.
+	for _, ig := range ignored {
+		if strings.Contains(stack, ig) {
+			return false
+		}
+	}
+	return true
+}
+
+type goroutine struct {
+	id    int
+	stack string
+}
+
+// stacks parses runtime.Stack(all=true) into per-goroutine records.
+func stacks() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []goroutine
+	for _, chunk := range strings.Split(string(buf), "\n\n") {
+		header, rest, _ := strings.Cut(chunk, "\n")
+		// "goroutine 123 [running]:"
+		fields := strings.Fields(header)
+		if len(fields) < 2 || fields[0] != "goroutine" {
+			continue
+		}
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		out = append(out, goroutine{id: id, stack: rest})
+	}
+	return out
+}

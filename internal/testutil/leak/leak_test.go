@@ -1,0 +1,42 @@
+package leak
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCleanTestHasNoStrays(t *testing.T) {
+	Check(t)
+}
+
+func TestStrayDetectsAndClears(t *testing.T) {
+	snap := Snapshot()
+	quit := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-quit
+	}()
+	<-started
+
+	strays := Stray(snap, 50*time.Millisecond)
+	if len(strays) == 0 {
+		t.Fatal("blocked goroutine not reported as stray")
+	}
+
+	close(quit)
+	if strays := Stray(snap, 2*time.Second); len(strays) != 0 {
+		t.Fatalf("stray report did not clear after shutdown: %v", strays)
+	}
+}
+
+func TestPreexistingGoroutinesAreNotStrays(t *testing.T) {
+	quit := make(chan struct{})
+	defer close(quit)
+	go func() { <-quit }()
+	// Snapshot taken after the goroutine started: it must never count.
+	snap := Snapshot()
+	if strays := Stray(snap, 50*time.Millisecond); len(strays) != 0 {
+		t.Fatalf("pre-existing goroutine reported as stray: %v", strays)
+	}
+}
