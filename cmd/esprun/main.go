@@ -61,6 +61,7 @@ func main() {
 		parallel = flag.Int("parallel", 1, "campaign workers (0 = GOMAXPROCS); output is identical at any count")
 		camp     = flag.String("campaign", "", "run a sweep campaign: seeds | fraction | scale")
 		nSeeds   = flag.Int("seeds", 5, "seed count for -campaign seeds (seed, seed+1, ...)")
+		scaleJob = flag.Bool("scale-jobs", false, "extend -campaign scale with the 50k/100k-job queue-depth points (long runs)")
 	)
 	flag.Parse()
 
@@ -86,7 +87,7 @@ func main() {
 	copts := campaign.Options{Workers: *parallel, OnProgress: progressLine}
 
 	if *camp != "" {
-		runCampaign(*camp, opts, copts, *nSeeds)
+		runCampaign(*camp, opts, copts, *nSeeds, *scaleJob)
 	}
 
 	var results []*experiments.ESPResult
@@ -169,7 +170,7 @@ func progressLine(done, total int) {
 func endProgress() { fmt.Fprintln(os.Stderr) }
 
 // runCampaign executes one of the named sweeps and exits.
-func runCampaign(kind string, opts esp.GenOpts, copts campaign.Options, nSeeds int) {
+func runCampaign(kind string, opts esp.GenOpts, copts campaign.Options, nSeeds int, scaleJobs bool) {
 	switch kind {
 	case "seeds":
 		if nSeeds < 1 {
@@ -198,6 +199,14 @@ func runCampaign(kind string, opts esp.GenOpts, copts campaign.Options, nSeeds i
 		endProgress()
 		fmt.Println("=== Campaign: cluster-size sweep (Dyn-HP) ===")
 		fmt.Print(experiments.FormatSweep(points))
+		if scaleJobs {
+			pts := experiments.DefaultScaleJobs()
+			fmt.Fprintf(os.Stderr, "queue-depth sweep: %d points (Dyn-HP, replicated mix)...\n", len(pts))
+			deep := experiments.ScaleJobsSweep(opts, pts, copts)
+			endProgress()
+			fmt.Println("=== Campaign: queue-depth sweep (Dyn-HP, 4096 nodes) ===")
+			fmt.Print(experiments.FormatSweep(deep))
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown campaign %q (want seeds, fraction or scale)\n", kind)
 		os.Exit(2)

@@ -47,7 +47,7 @@ var strictPkgs = map[string]bool{
 	"esp": true, "quadflow": true, "workload": true, "fairness": true,
 	"rms": true, "job": true, "metrics": true, "trace": true,
 	"config": true, "experiments": true, "backoff": true,
-	"campaign": true,
+	"campaign": true, "arena": true,
 }
 
 // daemonPkgs may annotate genuinely wall-clock paths.

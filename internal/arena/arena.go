@@ -1,0 +1,68 @@
+// Package arena provides a generic value-slot arena with an int32
+// freelist — the storage discipline behind the sim engine's event queue
+// (PR "slot arena" pattern) generalized for other hot paths. Values
+// live in one contiguous slice and are addressed by small integer
+// handles, so data structures built on top (linked segment lists,
+// heaps) stay pointer-free: clones are a single memcpy and the garbage
+// collector never traverses them.
+package arena
+
+// Slots is a growable arena of T values addressed by int32 handles.
+// Freed handles are recycled LIFO, so steady-state Alloc/Free performs
+// no allocation once the arena has reached its high-water mark. The
+// zero value is ready to use. Not safe for concurrent use.
+type Slots[T any] struct {
+	slots []T
+	free  []int32
+}
+
+// Alloc returns a handle to a slot. The slot's contents are undefined
+// (it may hold data from a previous tenant); callers overwrite it.
+func (a *Slots[T]) Alloc() int32 {
+	if n := len(a.free); n > 0 {
+		idx := a.free[n-1]
+		a.free = a.free[:n-1]
+		return idx
+	}
+	var zero T
+	a.slots = append(a.slots, zero)
+	return int32(len(a.slots) - 1)
+}
+
+// At returns a pointer to the slot. The pointer is invalidated by the
+// next Alloc (the backing slice may grow); do not hold it across one.
+func (a *Slots[T]) At(i int32) *T { return &a.slots[i] }
+
+// Free returns the slot to the freelist. The value is not cleared;
+// arenas holding pointers should zero the slot first if GC retention
+// matters (segment arenas hold only scalars, so they do not).
+func (a *Slots[T]) Free(i int32) { a.free = append(a.free, i) }
+
+// Reset discards all live slots but keeps the backing storage, so the
+// next build cycle allocates nothing.
+func (a *Slots[T]) Reset() {
+	a.slots = a.slots[:0]
+	a.free = a.free[:0]
+}
+
+// Cap returns the arena's high-water slot count (live + freed).
+func (a *Slots[T]) Cap() int { return len(a.slots) }
+
+// CopyFrom makes a structurally identical copy of src (same handles
+// map to the same values, same freelist), reusing a's storage. The
+// one-memcpy clone is what makes arena-backed structures cheap to
+// what-if against.
+func (a *Slots[T]) CopyFrom(src *Slots[T]) {
+	if cap(a.slots) < len(src.slots) {
+		a.slots = make([]T, len(src.slots))
+	} else {
+		a.slots = a.slots[:len(src.slots)]
+	}
+	copy(a.slots, src.slots)
+	if cap(a.free) < len(src.free) {
+		a.free = make([]int32, len(src.free))
+	} else {
+		a.free = a.free[:len(src.free)]
+	}
+	copy(a.free, src.free)
+}

@@ -18,10 +18,11 @@ import (
 // iteration grants the zero-delay requests and walks the full
 // delay-measurement path for the rest — the steady state of a loaded
 // system running Algorithm 2.
-func setupLargeQueue(nQueued int) (*Scheduler, *testRM) {
-	rm := newTestRM(512, 8)
+func setupLargeQueue(nQueued, nodes int) (*Scheduler, *trackedRM) {
+	rm := &trackedRM{testRM: *newTestRM(nodes, 8)}
 	id := 1
-	for i := 0; i < 400; i++ {
+	nRunning := nodes * 25 / 32 // 400 at the historical 512-node size
+	for i := 0; i < nRunning; i++ {
 		j := &job.Job{
 			ID: job.ID(id), Cred: job.Credentials{User: fmt.Sprintf("r%02d", i%16)},
 			Cores: 8, Walltime: sim.Hour + sim.Duration(i)*sim.Minute,
@@ -51,11 +52,13 @@ func setupLargeQueue(nQueued int) (*Scheduler, *testRM) {
 		wall := 2*sim.Hour + sim.Duration(i%7)*30*sim.Minute
 		j := mkQueued(id, fmt.Sprintf("u%02d", i%20), 32, wall, sim.Time(i)*sim.Second)
 		rm.queued = append(rm.queued, j)
+		rm.bumpQueue()
 		id++
 	}
 	for _, ej := range evolving {
 		rm.dyn = append(rm.dyn, &job.DynRequest{Job: ej, Cores: 4, IssuedAt: sim.Minute})
 		ej.State = job.DynQueued
+		rm.bump()
 	}
 
 	cfg := config.Default()
@@ -76,15 +79,19 @@ func setupLargeQueue(nQueued int) (*Scheduler, *testRM) {
 // identical scheduling behavior.
 func BenchmarkIterateLargeQueue(b *testing.B) {
 	for _, c := range []struct {
-		name string
-		n    int
-	}{{"queue-1k", 1000}, {"queue-5k", 5000}, {"queue-10k", 10000}} {
+		name  string
+		n     int
+		nodes int
+	}{
+		{"queue-1k", 1000, 512}, {"queue-5k", 5000, 512}, {"queue-10k", 10000, 512},
+		{"queue-50k", 50000, 4096}, {"queue-100k", 100000, 4096},
+	} {
 		c := c
 		b.Run(c.name, func(b *testing.B) {
 			var granted, rejected, started int
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				s, rm := setupLargeQueue(c.n)
+				s, rm := setupLargeQueue(c.n, c.nodes)
 				b.StartTimer()
 				res := s.Iterate(sim.Minute, rm)
 				granted, rejected = 0, 0
@@ -101,5 +108,19 @@ func BenchmarkIterateLargeQueue(b *testing.B) {
 			b.ReportMetric(float64(rejected), "rejected")
 			b.ReportMetric(float64(started), "started")
 		})
+	}
+}
+
+// BenchmarkIterateIdleTick measures the event-driven requeue: the
+// steady-state tick of a loaded 100k-job system in which nothing
+// changed since the last iteration. With a ChangeTracker RM the
+// scheduler recognizes the frozen state and the tick costs a handful
+// of comparisons — no queue scan, no sort, no planning.
+func BenchmarkIterateIdleTick(b *testing.B) {
+	s, rm := setupLargeQueue(100000, 4096)
+	s.Recycle(s.Iterate(sim.Minute, rm)) // settle: starts + dyn decisions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Recycle(s.Iterate(2*sim.Minute, rm))
 	}
 }

@@ -74,7 +74,7 @@ func (s *Scheduler) shrinkMalleable(now sim.Time, rm ResourceManager, need int, 
 // growMalleable hands leftover idle cores to running malleable jobs,
 // highest priority first, without disturbing the reservations held in
 // the planning profile. Runs at the end of the iteration.
-func (s *Scheduler) growMalleable(now sim.Time, rm ResourceManager, final *profile.Profile, res *IterationResult) {
+func (s *Scheduler) growMalleable(now sim.Time, rm ResourceManager, final *profile.SegProfile, res *IterationResult) {
 	mm, ok := rm.(MalleableManager)
 	if !ok || !s.opts.Malleable {
 		return

@@ -176,6 +176,6 @@ func TestSchedulerFairshareAccessor(t *testing.T) {
 }
 
 // newProfileWithFree builds a flat profile for moldToFit tests.
-func newProfileWithFree(free int) *profile.Profile {
-	return profile.New(0, free)
+func newProfileWithFree(free int) *profile.SegProfile {
+	return profile.NewSeg(0, free)
 }

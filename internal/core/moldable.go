@@ -15,7 +15,7 @@ import (
 // The decision respects the planning profile: the molded allocation
 // must stay available for the whole walltime window, so reservations
 // are never disturbed.
-func (s *Scheduler) moldToFit(p *profile.Profile, j *job.Job, now sim.Time) int {
+func (s *Scheduler) moldToFit(p *profile.SegProfile, j *job.Job, now sim.Time) int {
 	if !s.opts.Moldable || j.Class != job.Moldable {
 		return 0
 	}

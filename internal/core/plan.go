@@ -19,14 +19,22 @@ type Planned struct {
 	Held bool
 	// StartNow reports whether the job can start immediately.
 	StartNow bool
+	// idx is the job's position in the priority order of the table the
+	// plan ran against; what-if overlays use it to look up candidate
+	// starts without a map.
+	idx int
 }
 
 // fillBuilder loads the availability deltas of a cluster state into a
 // batch builder: idle cores now, plus the walltime-based releases of
 // all active jobs (including any dynamically acquired cores, which are
-// reserved until the evolving job's walltime end, §III-D).
-func fillBuilder(b *profile.Builder, now sim.Time, cl *cluster.Cluster, active []*job.Job) {
+// reserved until the evolving job's walltime end, §III-D). It returns
+// the earliest release boundary — the horizon before which the profile
+// shape cannot change without a cluster event, which bounds how long
+// the event-driven requeue may keep skipping iterations.
+func fillBuilder(b *profile.Builder, now sim.Time, cl *cluster.Cluster, active []*job.Job) sim.Time {
 	b.Reset(now, cl.IdleCores())
+	next := sim.Forever
 	for _, j := range active {
 		end := j.StartTime + j.Walltime
 		if end <= now {
@@ -34,8 +42,12 @@ func fillBuilder(b *profile.Builder, now sim.Time, cl *cluster.Cluster, active [
 			// enforcement passes): assume imminent release.
 			end = now + sim.Second
 		}
+		if end < next {
+			next = end
+		}
 		b.Release(end, j.TotalCores())
 	}
+	return next
 }
 
 // buildProfile constructs the availability profile of a cluster state
@@ -70,6 +82,49 @@ func planJobs(p *profile.Profile, ordered []*job.Job, now sim.Time, maxHeld int)
 		plans = append(plans, pl)
 	}
 	return plans
+}
+
+// planTable is planJobs over the struct-of-arrays job table: jobs
+// [0, upTo) are placed in priority order against p (which is mutated
+// with the Maui holds — StartNow jobs plus the first maxHeld blocked).
+//
+// When starts is non-nil, every job's planned start is recorded
+// dense-by-index — the map-free replacement for startsByID that the
+// what-if delay comparison indexes directly. When wantMeasured is set,
+// the delay-measured subset (every StartNow job plus the first
+// delayDepth blocked jobs, exactly delaySet's selection) is appended
+// to measuredBuf and returned together with the index of the last
+// measured job (-1 when none).
+func planTable(p *profile.SegProfile, t *jobTable, upTo int, now sim.Time, maxHeld, delayDepth int, starts []sim.Time, measuredBuf []Planned, wantMeasured bool) ([]Planned, int) {
+	held := 0
+	blocked := 0
+	last := -1
+	measured := measuredBuf
+	for i := 0; i < upTo; i++ {
+		cores := int(t.cores[i])
+		start := p.FindSlot(cores, t.wall[i], now)
+		if starts != nil {
+			starts[i] = start
+		}
+		if start == now {
+			p.AddHold(start, holdEnd(start, t.wall[i]), cores)
+			if wantMeasured {
+				measured = append(measured, Planned{Job: t.jobs[i], Start: start, Held: true, StartNow: true, idx: i})
+				last = i
+			}
+		} else if start < sim.Forever {
+			if held < maxHeld {
+				held++
+				p.AddHold(start, holdEnd(start, t.wall[i]), cores)
+			}
+			if wantMeasured && blocked < delayDepth {
+				blocked++
+				measured = append(measured, Planned{Job: t.jobs[i], Start: start, Held: true, idx: i})
+				last = i
+			}
+		}
+	}
+	return measured, last
 }
 
 func holdEnd(start sim.Time, wall sim.Duration) sim.Time {

@@ -38,6 +38,28 @@ type ResourceManager interface {
 	Preempt(j *job.Job) error
 }
 
+// ChangeTracker is the optional ResourceManager capability behind
+// event-driven requeue. StateEpoch advances on every externally
+// visible mutation (submit, start, completion, cancel, preemption,
+// resize, dynamic request arrival or resolution); QueueEpoch advances
+// on the subset that changes queue membership or a queued job's
+// priority inputs. The scheduler uses StateEpoch to skip idle
+// iterations outright and QueueEpoch to reuse the sorted job table
+// across iterations.
+type ChangeTracker interface {
+	StateEpoch() uint64
+	QueueEpoch() uint64
+}
+
+// QueueSnapshotter is an optional ResourceManager fast path: QueueRef
+// returns the RM's own queued-job slice in submission order, valid
+// until the RM next mutates. The scheduler only reads it during
+// Iterate and copies what it keeps, so RMs whose queue is quiescent
+// during an iteration can skip the O(n) defensive copy of QueuedJobs.
+type QueueSnapshotter interface {
+	QueueRef() []*job.Job
+}
+
 // Options bundles the scheduler configuration.
 type Options struct {
 	Config  *config.SchedConfig
@@ -78,11 +100,17 @@ type DynDecision struct {
 	// insufficient-resource outcomes; sim.Forever when never.
 	AvailableAt sim.Time
 	// Delays are the measured per-job delays that informed the
-	// fairness decision (granted or not).
+	// fairness decision (granted or not). The slice is owned by the
+	// IterationResult: observers that retain it past Recycle must
+	// copy it first.
 	Delays []fairness.JobDelay
 }
 
-// IterationResult reports what one scheduling iteration did.
+// IterationResult reports what one scheduling iteration did. Results
+// are pooled: drivers that consume a result synchronously should hand
+// it back via Scheduler.Recycle so steady-state iteration stops
+// generating per-tick garbage. A recycled result's slices (including
+// DynDecision.Delays) are reused; observers copy what they keep.
 type IterationResult struct {
 	Now          sim.Time
 	Started      []*job.Job // jobs started in priority order
@@ -92,6 +120,10 @@ type IterationResult struct {
 	Preempted    []*job.Job
 	// Resizes lists scheduler-initiated malleable grow/shrink actions.
 	Resizes []Resize
+
+	// delayBuf is the arena the per-decision Delays slices are carved
+	// from; it lives and dies with the result.
+	delayBuf []fairness.JobDelay
 }
 
 // GrantedCount returns how many dynamic requests were granted.
@@ -120,31 +152,65 @@ type Scheduler struct {
 	// Scratch storage reused across iterations so the hot path
 	// (per-request what-if planning) stops allocating once warm.
 	builder     profile.Builder
-	pristineBuf profile.Profile
-	baseBuf     profile.Profile
-	candBuf     profile.Profile
-	finalBuf    profile.Profile
-	planDone    chan []Planned
+	pristineBuf profile.SegProfile
+	baseBuf     profile.SegProfile
+	candBuf     profile.SegProfile
+	finalBuf    profile.SegProfile
+	planDone    chan planOut
+
+	// table is the sorted struct-of-arrays snapshot of the eligible
+	// queue, cached across iterations when the RM reports queue epochs.
+	table jobTable
+	pc    planContext
+
+	// What-if planning scratch: dense candidate starts indexed by
+	// priority order, and the measured-set buffers (base side is
+	// written by the concurrent base replan goroutine, cand side by
+	// the iteration goroutine, measuredBuf holds the copy planContext
+	// points at).
+	candStarts      []sim.Time
+	baseMeasuredBuf []Planned
+	candMeasuredBuf []Planned
+	measuredBuf     []Planned
+
+	// Result pool (Recycle/takeResult).
+	resPool []*IterationResult
+
+	// Event-driven requeue state: the last iteration's RM identity and
+	// post-iteration epoch, whether any dynamic request was deferred,
+	// and the earliest walltime release (profile shape is a pure
+	// function of cluster state before that horizon).
+	lastRM       ResourceManager
+	lastEpoch    uint64
+	lastNow      sim.Time
+	nextRelease  sim.Time
+	lastDeferred bool
+	lastValid    bool
+}
+
+// planOut is the result of one full-queue planning pass.
+type planOut struct {
+	measured []Planned
+	lastIdx  int
 }
 
 // planContext carries the incremental planning state of one iteration:
 // the pristine availability profile (cluster releases only, no planning
-// holds) and the base plans of the static queue against it. Both are
-// built at most once per cluster-state epoch and reused across the FIFO
-// dynamic requests; a grant advances the epoch by applying its hold
-// incrementally instead of rebuilding from scratch.
+// holds) and the delay-measured subset of the static queue planned
+// against it. Both are built at most once per cluster-state epoch and
+// reused across the FIFO dynamic requests; a grant advances the epoch
+// by applying its hold incrementally instead of rebuilding from
+// scratch.
 type planContext struct {
-	now     sim.Time
-	ordered []*job.Job
+	now sim.Time
 	// pristine is the base availability profile; nil means stale.
-	pristine *profile.Profile
+	pristine *profile.SegProfile
 	// idleAtBuild detects cluster mutations (starts, shrinks,
 	// preemptions) that happened since pristine was built.
 	idleAtBuild int
-	// basePlans/measured/lastIdx cache the static queue planned against
-	// pristine, the delay-measured subset, and the index of the last
+	// measured/lastIdx cache the delay-measured subset of the static
+	// queue planned against pristine and the index of the last
 	// measured job (what-if planning stops there).
-	basePlans []Planned
 	measured  []Planned
 	lastIdx   int
 	baseValid bool
@@ -159,12 +225,12 @@ func (pc *planContext) invalidate() {
 
 // ensureBase returns the pristine availability profile for the current
 // cluster state, rebuilding it in one batch pass when it is stale.
-func (s *Scheduler) ensureBase(pc *planContext, rm ResourceManager) *profile.Profile {
+func (s *Scheduler) ensureBase(pc *planContext, rm ResourceManager) *profile.SegProfile {
 	cl := rm.Cluster()
 	idle := cl.IdleCores()
 	if pc.pristine == nil || idle != pc.idleAtBuild {
-		fillBuilder(&s.builder, pc.now, cl, rm.ActiveJobs())
-		pc.pristine = s.builder.BuildInto(&s.pristineBuf)
+		s.nextRelease = fillBuilder(&s.builder, pc.now, cl, rm.ActiveJobs())
+		pc.pristine = s.builder.BuildSegInto(&s.pristineBuf)
 		pc.idleAtBuild = idle
 		pc.baseValid = false
 	}
@@ -184,7 +250,7 @@ func New(opts Options, startTime sim.Time) *Scheduler {
 		opts:     opts,
 		fair:     fairness.NewTracker(opts.Config.Fairness, startTime),
 		fs:       NewFairshare(24*sim.Hour, 0.7),
-		planDone: make(chan []Planned, 1),
+		planDone: make(chan planOut, 1),
 	}
 }
 
@@ -228,13 +294,126 @@ func (s *Scheduler) selectEligible(queued []*job.Job) []*job.Job {
 	return out
 }
 
+// takeResult returns a pooled IterationResult or a fresh one.
+func (s *Scheduler) takeResult() *IterationResult {
+	if n := len(s.resPool); n > 0 {
+		res := s.resPool[n-1]
+		s.resPool = s.resPool[:n-1]
+		return res
+	}
+	return &IterationResult{}
+}
+
+// Recycle hands an IterationResult back to the scheduler's pool. The
+// result and every slice it owns (including DynDecision.Delays) are
+// reused by a later Iterate; callers must not touch them afterwards.
+// Recycling is optional — results that escape to long-lived observers
+// can simply be dropped to the garbage collector.
+func (s *Scheduler) Recycle(res *IterationResult) {
+	if res == nil {
+		return
+	}
+	clear(res.Started)
+	clear(res.Backfilled)
+	clear(res.Reservations)
+	clear(res.DynDecisions)
+	clear(res.Preempted)
+	clear(res.Resizes)
+	clear(res.delayBuf)
+	res.Now = 0
+	res.Started = res.Started[:0]
+	res.Backfilled = res.Backfilled[:0]
+	res.Reservations = res.Reservations[:0]
+	res.DynDecisions = res.DynDecisions[:0]
+	res.Preempted = res.Preempted[:0]
+	res.Resizes = res.Resizes[:0]
+	res.delayBuf = res.delayBuf[:0]
+	if len(s.resPool) < 4 {
+		s.resPool = append(s.resPool, res)
+	}
+}
+
+// canSkip reports whether the iteration may short-circuit: the RM's
+// state epoch is unchanged since the last iteration against the same
+// RM, no negotiable request is parked, virtual time has not crossed
+// the earliest walltime release (before that horizon the availability
+// profile is a pure function of the unchanged cluster state, and the
+// pristine profile is monotone non-decreasing — a job that could not
+// start then cannot start now), and no time-dependent resizing policy
+// (malleable growth windows, moldable shaping) is active.
+func (s *Scheduler) canSkip(ct ChangeTracker, rm ResourceManager, now sim.Time) bool {
+	return s.lastValid &&
+		rm == s.lastRM &&
+		now >= s.lastNow &&
+		now < s.nextRelease &&
+		!s.lastDeferred &&
+		!s.opts.Malleable &&
+		!s.opts.Moldable &&
+		ct.StateEpoch() == s.lastEpoch
+}
+
+// noteIteration records the post-iteration skip state. The epoch is
+// captured after all of the iteration's own mutations (starts, grants,
+// rejections), so the next tick skips exactly when nothing else
+// happened in between. nextRelease is recomputed over the final active
+// set — jobs started this iteration may release earlier than anything
+// the pristine profile saw.
+func (s *Scheduler) noteIteration(rm ResourceManager, now sim.Time, deferred bool) {
+	ct, ok := rm.(ChangeTracker)
+	if !ok {
+		s.lastValid = false
+		return
+	}
+	next := sim.Forever
+	for _, j := range rm.ActiveJobs() {
+		end := j.StartTime + j.Walltime
+		if end <= now {
+			end = now // overrun: profile shape is already time-dependent
+		}
+		if end < next {
+			next = end
+		}
+	}
+	s.lastValid = true
+	s.lastRM = rm
+	s.lastNow = now
+	s.lastEpoch = ct.StateEpoch()
+	s.nextRelease = next
+	s.lastDeferred = deferred
+}
+
+// ensureTable refreshes the sorted struct-of-arrays queue snapshot,
+// reusing the previous iteration's order when the RM reports an
+// unchanged queue epoch and the priority weights are time-invariant
+// (no XFactor, no Fairshare: pairwise priority differences are then
+// constant in time, so the sorted order cannot drift between epochs).
+func (s *Scheduler) ensureTable(now sim.Time, rm ResourceManager) {
+	t := &s.table
+	ct, tracked := rm.(ChangeTracker)
+	w := s.opts.Weights
+	cacheable := tracked && w.XFactor == 0 && w.Fairshare == 0
+	if cacheable && t.valid && rm == s.lastRM && t.queueEpoch == ct.QueueEpoch() {
+		return
+	}
+	var queued []*job.Job
+	if qs, ok := rm.(QueueSnapshotter); ok {
+		queued = qs.QueueRef()
+	} else {
+		queued = rm.QueuedJobs()
+	}
+	t.fill(s.selectEligible(queued), now, w, s.fs)
+	t.valid = cacheable
+	if tracked {
+		t.queueEpoch = ct.QueueEpoch()
+	}
+}
+
 // Iterate runs one scheduling iteration at virtual time now against
 // the resource manager, and returns what it decided. This is
 // Algorithm 2 of the paper; with an empty dynamic-request queue it is
 // exactly Algorithm 1.
 func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
 	s.iterations.Add(1)
-	res := &IterationResult{Now: now}
 
 	// Steps 2–5: obtain resource/workload information, update
 	// statistics, refresh reservations (reservations are re-derived
@@ -242,13 +421,23 @@ func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
 	s.fair.Advance(now)
 	s.fs.Advance(now)
 
+	// Event-driven requeue: when the RM tracks epochs and nothing has
+	// changed since the last iteration, the tick is a no-op — no queue
+	// scan, no sort, no planning.
+	if ct, ok := rm.(ChangeTracker); ok && s.canSkip(ct, rm, now) {
+		res := s.takeResult()
+		res.Now = now
+		return res
+	}
+
+	res := s.takeResult()
+	res.Now = now
+
 	// Steps 6–9: select and prioritize eligible static jobs and
 	// dynamic requests. Static jobs use the priority factors; dynamic
 	// requests stay in FIFO order (the RM returns them that way).
-	eligible := s.selectEligible(rm.QueuedJobs())
-	ordered := make([]*job.Job, len(eligible))
-	copy(ordered, eligible)
-	SortByPriority(ordered, now, s.opts.Weights, s.fs)
+	s.ensureTable(now, rm)
+	t := &s.table
 	dynReqs := rm.DynRequests()
 
 	// Steps 10–24: schedule static jobs and create reservations
@@ -256,10 +445,13 @@ func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
 	// FIFO order. The base profile and base plans are built once and
 	// reused across requests; a grant applies its hold to the base
 	// incrementally instead of rebuilding from scratch.
-	pc := &planContext{now: now, ordered: ordered, lastIdx: -1}
+	pc := &s.pc
+	*pc = planContext{now: now, lastIdx: -1}
+	deferred := false
 	processDyn := func() {
 		for _, req := range dynReqs {
 			dec := s.processDynRequest(pc, rm, req, res)
+			deferred = deferred || dec.Deferred
 			res.DynDecisions = append(res.DynDecisions, dec)
 		}
 	}
@@ -270,15 +462,7 @@ func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
 	// Step 25: schedule static jobs in priority order and start the
 	// ones that fit now. The plan is rebuilt because granted dynamic
 	// requests consumed resources.
-	startNowBlocked := false
-	if s.opts.StrictSystemPriority {
-		for _, j := range ordered {
-			if j.SystemPriority > 0 {
-				startNowBlocked = true
-				break
-			}
-		}
-	}
+	startNowBlocked := s.opts.StrictSystemPriority && t.anySys
 
 	// Steps 25–26 merged: walk the queue in priority order. Jobs that
 	// fit now start; once a higher-priority job has blocked, further
@@ -289,15 +473,21 @@ func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
 	final := s.ensureBase(pc, rm).CloneInto(&s.finalBuf)
 	heldBlocked := 0
 	anyBlocked := false
-	for _, j := range ordered {
-		start := final.FindSlot(j.Cores, j.Walltime, now)
-		suppressed := (startNowBlocked && j.SystemPriority == 0) ||
+	for i := 0; i < t.len(); i++ {
+		j := t.jobs[i]
+		cores := int(t.cores[i])
+		wall := t.wall[i]
+		start := final.FindSlot(cores, wall, now)
+		suppressed := (startNowBlocked && t.sys[i] == 0) ||
 			(anyBlocked && s.opts.Config.BackfillPolicy == "NONE")
-		if !suppressed && j.Class == job.Moldable {
+		if !suppressed && t.mold[i] {
 			// Moldable jobs: reshape the request to start now (down)
 			// or to exploit abundance (up) before committing.
-			if c := s.moldToFit(final, j, now); c > 0 && c != j.Cores {
+			if c := s.moldToFit(final, j, now); c > 0 && c != cores {
 				j.Cores = c
+				t.cores[i] = int32(c)
+				t.valid = false // cached order must not outlive the reshape
+				cores = c
 				start = now
 			}
 		}
@@ -313,7 +503,7 @@ func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
 					res.Started = append(res.Started, j)
 				}
 				s.fair.ForgetJob(j.ID)
-				final.AddHold(now, holdEnd(now, j.Walltime), j.Cores)
+				final.AddHold(now, holdEnd(now, wall), cores)
 				continue
 			}
 			// Node-level fragmentation or a race in live mode: the
@@ -327,7 +517,7 @@ func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
 		}
 		if start > now && start < sim.Forever && heldBlocked < s.opts.Config.ReservationDepth {
 			heldBlocked++
-			final.AddHold(start, holdEnd(start, j.Walltime), j.Cores)
+			final.AddHold(start, holdEnd(start, wall), cores)
 			res.Reservations = append(res.Reservations, Planned{Job: j, Start: start, Held: true})
 		}
 	}
@@ -338,6 +528,7 @@ func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
 	// Malleable growth: leftover idle cores go to running malleable
 	// jobs, never into reservation windows.
 	s.growMalleable(now, rm, final, res)
+	s.noteIteration(rm, now, deferred)
 	return res
 }
 
@@ -397,7 +588,9 @@ func (s *Scheduler) processDynRequest(pc *planContext, rm ResourceManager, req *
 	// evolving job's walltime end (dynamic reservations run to the
 	// rest of the walltime, §III-D). The base side comes from the
 	// per-iteration cache; the candidate side is a what-if overlay on
-	// a reused scratch clone.
+	// a reused scratch clone, planned only up to the last measured job
+	// — the cost is proportional to the perturbation's reach, not the
+	// queue.
 	evolveEnd := req.Job.StartTime + req.Job.Walltime
 	if evolveEnd <= now {
 		evolveEnd = now + sim.Second
@@ -406,37 +599,46 @@ func (s *Scheduler) processDynRequest(pc *planContext, rm ResourceManager, req *
 	candP := base.CloneInto(&s.candBuf)
 	candP.AddHold(now, evolveEnd, need)
 
-	var candPlans []Planned
+	t := &s.table
+	n := t.len()
+	if cap(s.candStarts) < n {
+		s.candStarts = make([]sim.Time, n)
+	}
+	delayDepth := s.opts.Config.ReservationDelayDepth
+	var candMeasured []Planned
+	candLast := -1
 	candFull := false
 	if !pc.baseValid {
 		// Base plans are stale: replan the full queue on both sides.
-		// The two passes are independent reads over separate clones,
-		// so they run concurrently.
+		// The two passes are independent reads over separate profile
+		// clones and the shared (read-only) job table, so they run
+		// concurrently.
 		candFull = true
 		baseP := base.CloneInto(&s.baseBuf)
 		//lint:goroutine joined two statements down by the blocking receive from s.planDone
 		go func() {
-			s.planDone <- planJobs(baseP, pc.ordered, now, s.maxHeld())
+			m, last := planTable(baseP, t, n, now, s.maxHeld(), delayDepth, nil, s.baseMeasuredBuf[:0], true)
+			s.planDone <- planOut{measured: m, lastIdx: last}
 		}()
-		candPlans = planJobs(candP, pc.ordered, now, s.maxHeld())
-		pc.basePlans = <-s.planDone
-		pc.measured, pc.lastIdx = delaySet(pc.basePlans, s.opts.Config.ReservationDelayDepth)
+		candMeasured, candLast = planTable(candP, t, n, now, s.maxHeld(), delayDepth, s.candStarts[:n], s.candMeasuredBuf[:0], true)
+		s.candMeasuredBuf = candMeasured[:0]
+		out := <-s.planDone
+		s.baseMeasuredBuf = out.measured[:0]
+		s.measuredBuf = append(s.measuredBuf[:0], out.measured...)
+		pc.measured, pc.lastIdx = s.measuredBuf, out.lastIdx
 		pc.baseValid = true
 	} else {
 		// Cached base: the what-if only needs plans up to the last
 		// delay-measured job — a planned start depends solely on the
 		// holds of higher-priority jobs.
-		candPlans = planJobs(candP, pc.ordered[:pc.lastIdx+1], now, s.maxHeld())
+		upTo := pc.lastIdx + 1
+		planTable(candP, t, upTo, now, s.maxHeld(), 0, s.candStarts[:upTo], nil, false)
 	}
-	candStart := startsByID(candPlans)
 
 	measured := pc.measured
-	delays := make([]fairness.JobDelay, 0, len(measured))
+	delayStart := len(res.delayBuf)
 	for _, p := range measured {
-		cand, ok := candStart[p.Job.ID]
-		if !ok {
-			continue
-		}
+		cand := s.candStarts[p.idx]
 		d := cand - p.Start
 		if cand == sim.Forever || p.Start == sim.Forever {
 			d = 0
@@ -450,8 +652,9 @@ func (s *Scheduler) processDynRequest(pc *planContext, rm ResourceManager, req *
 		if d < 0 {
 			d = 0
 		}
-		delays = append(delays, fairness.JobDelay{Job: p.Job, Delay: d})
+		res.delayBuf = append(res.delayBuf, fairness.JobDelay{Job: p.Job, Delay: d})
 	}
+	delays := res.delayBuf[delayStart:len(res.delayBuf):len(res.delayBuf)]
 	dec.Delays = delays
 
 	// Lines 14–20: the dynamic fairness gate.
@@ -484,9 +687,10 @@ func (s *Scheduler) processDynRequest(pc *planContext, rm ResourceManager, req *
 	pc.idleAtBuild -= need
 	if candFull {
 		// The full-queue candidate plan was computed against exactly
-		// this profile — it becomes the new base plan for free.
-		pc.basePlans = candPlans
-		pc.measured, pc.lastIdx = delaySet(pc.basePlans, s.opts.Config.ReservationDelayDepth)
+		// this profile — its measured set becomes the new base cache
+		// for free.
+		s.measuredBuf = append(s.measuredBuf[:0], candMeasured...)
+		pc.measured, pc.lastIdx = s.measuredBuf, candLast
 	} else {
 		pc.baseValid = false
 	}

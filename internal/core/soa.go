@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// jobTable is the scheduler's struct-of-arrays snapshot of the eligible
+// queue, sorted by priority. The iteration's hot loops (planning,
+// delay measurement, the final start/backfill walk) read cores and
+// walltimes from dense parallel slices instead of chasing 100k
+// *job.Job pointers; the pointers stay as the stable API at the edges
+// (StartJob, results, fairness bookkeeping). All storage is scratch
+// reused across iterations.
+//
+// When the ResourceManager reports queue epochs (ChangeTracker) and
+// the priority weights are time-invariant (no XFactor, no Fairshare —
+// pairwise priority differences then stay constant as jobs age), the
+// sorted table survives across iterations and a tick whose queue did
+// not change skips the O(n log n) re-sort entirely.
+type jobTable struct {
+	// Sorted (priority-descending) parallel arrays.
+	jobs  []*job.Job
+	cores []int32
+	wall  []sim.Duration
+	sys   []int64
+	mold  []bool
+
+	// Sort scratch, indexed by pre-sort position.
+	prio   []float64
+	submit []sim.Time
+	id     []job.ID
+	perm   []int32
+
+	// anySys caches whether any eligible job carries SystemPriority,
+	// for the StrictSystemPriority gate.
+	anySys bool
+
+	// Order-cache state: valid marks the sorted arrays reusable while
+	// the RM's queue epoch stays at queueEpoch.
+	valid      bool
+	queueEpoch uint64
+}
+
+func (t *jobTable) len() int { return len(t.jobs) }
+
+// grow resizes every array to n, reusing capacity.
+func (t *jobTable) grow(n int) {
+	if cap(t.jobs) < n {
+		t.jobs = make([]*job.Job, n)
+		t.cores = make([]int32, n)
+		t.wall = make([]sim.Duration, n)
+		t.sys = make([]int64, n)
+		t.mold = make([]bool, n)
+		t.prio = make([]float64, n)
+		t.submit = make([]sim.Time, n)
+		t.id = make([]job.ID, n)
+		t.perm = make([]int32, n)
+		return
+	}
+	t.jobs = t.jobs[:n]
+	t.cores = t.cores[:n]
+	t.wall = t.wall[:n]
+	t.sys = t.sys[:n]
+	t.mold = t.mold[:n]
+	t.prio = t.prio[:n]
+	t.submit = t.submit[:n]
+	t.id = t.id[:n]
+	t.perm = t.perm[:n]
+}
+
+// fill loads the eligible jobs, computes priority keys, sorts a
+// permutation, and gathers the hot fields into priority order. The
+// input slice is read only — never retained or reordered (it may be
+// the RM's own queue storage via QueueSnapshotter).
+func (t *jobTable) fill(eligible []*job.Job, now sim.Time, w PriorityWeights, fs *Fairshare) {
+	n := len(eligible)
+	t.grow(n)
+	for i, j := range eligible {
+		t.prio[i] = w.Priority(j, now, fs)
+		t.submit[i] = j.SubmitTime
+		t.id[i] = j.ID
+		t.perm[i] = int32(i)
+	}
+	sort.Sort((*tableSorter)(t))
+	anySys := false
+	for k, pi := range t.perm {
+		j := eligible[pi]
+		t.jobs[k] = j
+		t.cores[k] = int32(j.Cores)
+		t.wall[k] = j.Walltime
+		t.sys[k] = j.SystemPriority
+		if j.SystemPriority > 0 {
+			anySys = true
+		}
+		t.mold[k] = j.Class == job.Moldable
+	}
+	t.anySys = anySys
+}
+
+// tableSorter sorts the permutation by descending priority with the
+// same total order as SortByPriority (submit time, then ID, break
+// ties), so the unstable sort is deterministic and value-identical to
+// the stable slice sort it replaces.
+type tableSorter jobTable
+
+func (t *tableSorter) Len() int { return len(t.perm) }
+
+func (t *tableSorter) Swap(a, b int) { t.perm[a], t.perm[b] = t.perm[b], t.perm[a] }
+
+func (t *tableSorter) Less(a, b int) bool {
+	pa, pb := t.perm[a], t.perm[b]
+	if t.prio[pa] != t.prio[pb] {
+		return t.prio[pa] > t.prio[pb]
+	}
+	if t.submit[pa] != t.submit[pb] {
+		return t.submit[pa] < t.submit[pb]
+	}
+	return t.id[pa] < t.id[pb]
+}

@@ -112,6 +112,11 @@ type GenOpts struct {
 	// EvolvingFraction is the target evolving-job fraction in [0, 1];
 	// only consulted when EvolvingOverride is set.
 	EvolvingFraction float64
+	// Repeat replicates the regular Table I mix this many times (0/1 =
+	// the paper's 228 jobs), scaling the queue depth for the large
+	// scheduler-capacity campaign points (50k/100k jobs). The two Z
+	// jobs are never replicated — they are the ESP probe, not load.
+	Repeat int
 }
 
 // DefaultOpts returns the paper's evaluation parameters. The paper
@@ -171,10 +176,18 @@ func Generate(opts GenOpts) *Workload {
 		opts.ZDelay = 30 * sim.Minute
 	}
 
+	repeat := opts.Repeat
+	if repeat < 1 {
+		repeat = 1
+	}
 	var regular []Item
 	var zJobs []Item
 	for _, t := range TableI() {
-		for i := 1; i <= t.Count; i++ {
+		count := t.Count
+		if t.Name != "Z" {
+			count *= repeat
+		}
+		for i := 1; i <= count; i++ {
 			it := Item{Type: t}
 			cores := t.Cores(opts.TotalCores)
 			wall := sim.Duration(opts.WalltimeFactor * float64(t.SET))

@@ -246,3 +246,46 @@ func TestEfficiency(t *testing.T) {
 		t.Errorf("static-run efficiency = %v", e)
 	}
 }
+
+func TestGenerateRepeat(t *testing.T) {
+	base := DefaultOpts()
+	plain := Generate(base)
+
+	// Repeat <= 1 must be byte-identical to the default workload.
+	one := base
+	one.Repeat = 1
+	w1 := Generate(one)
+	if len(w1.Items) != len(plain.Items) {
+		t.Fatalf("Repeat=1 changed the workload: %d items, want %d", len(w1.Items), len(plain.Items))
+	}
+	for i := range plain.Items {
+		if plain.Items[i].Job.Name != w1.Items[i].Job.Name ||
+			plain.Items[i].SubmitAt != w1.Items[i].SubmitAt {
+			t.Fatalf("Repeat=1 disturbed item %d", i)
+		}
+	}
+
+	// Repeat=3: the regular mix triples, the two Z probe jobs do not.
+	three := base
+	three.Repeat = 3
+	w3 := Generate(three)
+	if got, want := len(w3.Items), 228*3+2; got != want {
+		t.Fatalf("Repeat=3 generates %d items, want %d", got, want)
+	}
+	z := 0
+	for _, it := range w3.Items {
+		if it.Type.Name == "Z" {
+			z++
+		}
+	}
+	if z != 2 {
+		t.Errorf("Repeat must not replicate the Z jobs: got %d", z)
+	}
+
+	// The evolving share of the mix is preserved under replication.
+	_, ev1, _ := plain.Counts()
+	_, ev3, _ := w3.Counts()
+	if ev3 != ev1*3 {
+		t.Errorf("evolving count %d, want %d", ev3, ev1*3)
+	}
+}

@@ -112,6 +112,53 @@ func ScaleSweep(base esp.GenOpts, nodes []int, opts campaign.Options) []SweepPoi
 	return points
 }
 
+// ScaleJobsPoint is one queue-depth campaign cell: an ESP run whose
+// regular mix is replicated Repeat times on a Nodes-node machine, with
+// everything submitted at t=0 so the scheduler really faces the full
+// queue at once.
+type ScaleJobsPoint struct {
+	Nodes  int
+	Repeat int
+	Label  string
+}
+
+// DefaultScaleJobs is the scheduler-capacity grid: the 50k- and
+// 100k-job points (228 regular jobs × 220 and × 439) on a 4096-node
+// machine — the scale the reworked scheduler core is specified
+// against. These runs are long (hours of host time); they are meant
+// for offline campaigns, not CI (see EXPERIMENTS.md).
+func DefaultScaleJobs() []ScaleJobsPoint {
+	return []ScaleJobsPoint{
+		{Nodes: 4096, Repeat: 220, Label: "50k"},
+		{Nodes: 4096, Repeat: 439, Label: "100k"},
+	}
+}
+
+// ScaleJobsSweep varies the queue depth under the Dyn-HP
+// configuration via the workload Repeat multiplier.
+func ScaleJobsSweep(base esp.GenOpts, pts []ScaleJobsPoint, opts campaign.Options) []SweepPoint {
+	tasks := make([]func() *ESPResult, len(pts))
+	labels := make([]string, len(pts))
+	for i, p := range pts {
+		g := base
+		g.Rand = nil
+		g.TotalCores = p.Nodes * 8
+		g.Repeat = p.Repeat
+		// Submit the whole replicated mix up front: the point is queue
+		// depth, not arrival cadence.
+		g.InitialBatch = 228 * p.Repeat
+		c := ESPConfig{Name: fmt.Sprintf("Dyn-HP/n%d-j%s", p.Nodes, p.Label), Dynamic: true}
+		labels[i] = c.Name
+		tasks[i] = func() *ESPResult { return RunESP(c, g) }
+	}
+	results := campaign.Run(tasks, opts)
+	points := make([]SweepPoint, len(results))
+	for i, r := range results {
+		points[i] = SweepPoint{Label: labels[i], Result: r}
+	}
+	return points
+}
+
 // FormatSweep renders a sweep as a Table II-style comparison.
 func FormatSweep(points []SweepPoint) string {
 	rows := make([]metrics.Summary, len(points))

@@ -96,3 +96,24 @@ func TestFractionSweepEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// TestScaleJobsSweepSmoke runs a tiny queue-depth point (Repeat=2 on
+// the paper's 15-node machine) end to end: the full replicated mix is
+// submitted at t=0 and every job completes. The production 50k/100k
+// points in DefaultScaleJobs use the same code path.
+func TestScaleJobsSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ESP run")
+	}
+	pts := []ScaleJobsPoint{{Nodes: 15, Repeat: 2, Label: "2x"}}
+	res := ScaleJobsSweep(esp.DefaultOpts(), pts, campaign.Options{})
+	if len(res) != 1 {
+		t.Fatalf("%d points, want 1", len(res))
+	}
+	if res[0].Label != "Dyn-HP/n15-j2x" {
+		t.Errorf("label = %q", res[0].Label)
+	}
+	if got, want := res[0].Result.Summary.Jobs, 228*2+2; got != want {
+		t.Errorf("completed %d jobs, want %d", got, want)
+	}
+}

@@ -107,7 +107,7 @@ func (d *Daemon) RunOnce() (applied, skipped int, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	d.sched.Iterate(sim.Time(state.NowMS), mirror)
+	d.sched.Recycle(d.sched.Iterate(sim.Time(state.NowMS), mirror))
 	if len(mirror.actions) == 0 {
 		return 0, 0, nil
 	}

@@ -70,11 +70,17 @@ func (b *Builder) Build() *Profile {
 	return b.BuildInto(&Profile{})
 }
 
+// sortDeltas orders deltas by time; equal times keep any order, since
+// same-time deltas fold into one step.
+func sortDeltas(ds []delta) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i].t < ds[j].t })
+}
+
 // BuildInto materializes into dst, reusing its step storage, and
 // returns dst. The result is identical to applying every delta through
 // AddRelease/AddHold in any order.
 func (b *Builder) BuildInto(dst *Profile) *Profile {
-	sort.Slice(b.deltas, func(i, j int) bool { return b.deltas[i].t < b.deltas[j].t })
+	sortDeltas(b.deltas)
 	steps := dst.steps[:0]
 	if cap(steps) < len(b.deltas)+1 {
 		steps = make([]Step, 0, len(b.deltas)+1)

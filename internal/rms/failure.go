@@ -78,6 +78,7 @@ func (s *Server) FailNode(nodeID int) []job.ID {
 			s.CancelJob(j)
 		}
 	}
+	s.bump()
 	s.requestIteration()
 	return affected
 }
@@ -88,6 +89,7 @@ func (s *Server) RepairNode(nodeID int) {
 	if s.Trace != nil {
 		s.Trace.Addf(s.eng.Now(), trace.NodeUp, "", 0, "node%d repaired", nodeID)
 	}
+	s.bump()
 	s.requestIteration()
 }
 
@@ -95,5 +97,6 @@ func (s *Server) RepairNode(nodeID int) {
 // their cores, but nothing new is placed there.
 func (s *Server) DrainNode(nodeID int) {
 	s.cl.SetNodeState(nodeID, cluster.Offline)
+	s.bump()
 	s.requestIteration()
 }

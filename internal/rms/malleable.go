@@ -51,6 +51,7 @@ func (s *Server) ShrinkJob(j *job.Job, cores int) error {
 	}
 	s.observeUsage()
 	s.traceEvent(trace.Shrink, j, cores, "")
+	s.bump()
 	s.notifyResize(j)
 	return nil
 }
@@ -74,6 +75,7 @@ func (s *Server) GrowJob(j *job.Job, cores int) (cluster.Alloc, error) {
 	j.DynCores += cores
 	s.observeUsage()
 	s.traceEvent(trace.Grow, j, cores, "")
+	s.bump()
 	s.notifyResize(j)
 	return alloc, nil
 }

@@ -150,7 +150,12 @@ func TestNegotiationAvailabilityEstimate(t *testing.T) {
 	h := newHarness(2, 8, fairness.None, nil)
 	var decisions []core.DynDecision
 	h.srv.OnIteration = func(ir *core.IterationResult) {
-		decisions = append(decisions, ir.DynDecisions...)
+		// The result is recycled after this callback: copy the decisions
+		// and their Delays slices before retaining them.
+		for _, d := range ir.DynDecisions {
+			d.Delays = append([]fairness.JobDelay(nil), d.Delays...)
+			decisions = append(decisions, d)
+		}
 	}
 	blocker := &job.Job{Name: "blk", Cred: job.Credentials{User: "x"}, Cores: 8, Walltime: 2 * sim.Hour}
 	h.srv.Submit(blocker, &FixedApp{Runtime: 2 * sim.Hour})

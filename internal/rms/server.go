@@ -84,7 +84,31 @@ type Server struct {
 	FailurePolicy FailurePolicy
 
 	cancelled int
+
+	// epoch/qepoch implement core.ChangeTracker: epoch advances on
+	// every externally visible state mutation, qepoch on the subset
+	// that changes queue membership. The scheduler's event-driven
+	// requeue and order cache key off them.
+	epoch  uint64
+	qepoch uint64
 }
+
+// bump advances the state epoch after a cluster/job mutation.
+func (s *Server) bump() { s.epoch++ }
+
+// bumpQueue advances both epochs after a queue-membership change.
+func (s *Server) bumpQueue() { s.epoch++; s.qepoch++ }
+
+// StateEpoch implements core.ChangeTracker.
+func (s *Server) StateEpoch() uint64 { return s.epoch }
+
+// QueueEpoch implements core.ChangeTracker.
+func (s *Server) QueueEpoch() uint64 { return s.qepoch }
+
+// QueueRef implements core.QueueSnapshotter: the scheduler reads the
+// queue in place during Iterate (it copies what it keeps), skipping
+// the defensive copy QueuedJobs makes.
+func (s *Server) QueueRef() []*job.Job { return s.queued }
 
 // NewServer wires a server to an engine, cluster, scheduler and
 // metrics recorder.
@@ -147,6 +171,7 @@ func (s *Server) Submit(j *job.Job, app App) {
 		s.rec.ObserveSubmit(now)
 	}
 	s.traceEvent(trace.Submit, j, j.Cores, "")
+	s.bumpQueue()
 	s.requestIteration()
 }
 
@@ -244,6 +269,7 @@ func (s *Server) requestDyn(r *job.DynRequest) error {
 	j.State = job.DynQueued
 	s.dyn = append(s.dyn, r)
 	s.traceEvent(trace.DynRequest, j, r.TotalCores(), "")
+	s.bump()
 	s.requestIteration()
 	return nil
 }
@@ -268,6 +294,7 @@ func (s *Server) DynFree(j *job.Job, part cluster.Alloc) error {
 	}
 	s.observeUsage()
 	s.traceEvent(trace.DynFree, j, released, "")
+	s.bump()
 	s.requestIteration()
 	return nil
 }
@@ -332,6 +359,7 @@ func (s *Server) CompleteJob(j *job.Job) {
 	}
 	s.sched.Fairshare().Record(j.Cred.User, float64(j.TotalCores())*sim.SecondsOf(now-j.StartTime))
 	s.traceEvent(trace.Complete, j, j.TotalCores(), "")
+	s.bump()
 	s.requestIteration()
 }
 
@@ -387,6 +415,9 @@ func (s *Server) requestIteration() {
 		if s.OnIteration != nil {
 			s.OnIteration(res)
 		}
+		// Results are consumed synchronously (observers copy what they
+		// keep); recycling stops steady-state iteration garbage.
+		s.sched.Recycle(res)
 	})
 }
 
@@ -432,6 +463,7 @@ func (s *Server) StartJob(j *job.Job) (cluster.Alloc, error) {
 	j.State = job.Running
 	j.StartTime = now
 	s.active[j.ID] = j
+	s.bumpQueue()
 	s.observeUsage()
 	if j.Backfilled {
 		s.traceEvent(trace.Backfill, j, j.Cores, "")
@@ -467,7 +499,9 @@ func (s *Server) CancelJob(j *job.Job) {
 				break
 			}
 		}
+		s.bumpQueue()
 	case j.Active():
+		s.bump()
 		s.dropDynRequest(j.ID)
 		s.cl.Release(j.ID)
 		delete(s.active, j.ID)
@@ -508,6 +542,7 @@ func (s *Server) GrantDyn(r *job.DynRequest) (cluster.Alloc, error) {
 		s.dynGrants[r.Job.ID] = now
 	}
 	s.dropDynRequest(r.Job.ID)
+	s.bump()
 	s.observeUsage()
 	s.traceEvent(trace.DynGrant, r.Job, r.TotalCores(), alloc.String())
 	if app := s.apps[r.Job.ID]; app != nil {
@@ -521,6 +556,7 @@ func (s *Server) GrantDyn(r *job.DynRequest) (cluster.Alloc, error) {
 func (s *Server) RejectDyn(r *job.DynRequest, reason string) {
 	r.Job.State = job.Running
 	s.dropDynRequest(r.Job.ID)
+	s.bump()
 	s.traceEvent(trace.DynReject, r.Job, r.TotalCores(), reason)
 	if app := s.apps[r.Job.ID]; app != nil {
 		app.OnDynResult(s, r.Job, false, s.eng.Now())
@@ -547,6 +583,7 @@ func (s *Server) Preempt(j *job.Job) error {
 	j.DynCores = 0
 	j.Backfilled = false
 	s.queued = append(s.queued, j)
+	s.bumpQueue()
 	s.observeUsage()
 	s.traceEvent(trace.Preempt, j, j.Cores, "")
 	if app := s.apps[j.ID]; app != nil {

@@ -889,7 +889,8 @@ func (s *Server) schedLoop() {
 		case <-t.C:
 		}
 		s.mu.Lock()
-		s.opts.Sched.Iterate(s.now(), (*serverRM)(s))
+		res := s.opts.Sched.Iterate(s.now(), (*serverRM)(s))
+		s.opts.Sched.Recycle(res)
 		s.mu.Unlock()
 	}
 }
