@@ -9,6 +9,9 @@
 //	lockorder        interprocedural self-deadlocks, ABBA cycles, declared-order violations
 //	protoexhaustive  proto message registry ↔ daemon dispatch switch agreement
 //	goroutinelife    every go statement needs a provable shutdown path
+//	epochguard       writes to epoch-guarded fields must reach their bump before return
+//	poollife         pooled objects: no use after release, released or escaped on every path
+//	arenasafe        arena refs die at the next Alloc; handles die at Reset/CopyFrom/Free
 //
 // Usage:
 //
@@ -41,12 +44,15 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/arenasafe"
+	"repro/internal/analysis/epochguard"
 	"repro/internal/analysis/goroutinelife"
 	"repro/internal/analysis/loader"
 	"repro/internal/analysis/lockcheck"
 	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/nodeterminism"
+	"repro/internal/analysis/poollife"
 	"repro/internal/analysis/protoerr"
 	"repro/internal/analysis/protoexhaustive"
 )
@@ -59,6 +65,9 @@ var analyzers = []*analysis.Analyzer{
 	lockorder.Analyzer,
 	protoexhaustive.Analyzer,
 	goroutinelife.Analyzer,
+	epochguard.Analyzer,
+	poollife.Analyzer,
+	arenasafe.Analyzer,
 }
 
 func main() {

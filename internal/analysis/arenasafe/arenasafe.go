@@ -1,0 +1,607 @@
+// Package arenasafe checks the staleness discipline of arena-backed
+// storage (internal/arena.Slots): a pointer obtained from an
+// `//schedlint:arena-ref` accessor is invalidated by the next
+// `//schedlint:arena-alloc` call on the same arena (growth may move
+// the backing slice), and both pointers and integer handles die at an
+// `//schedlint:arena-invalidate` boundary (Reset, CopyFrom — the
+// clone/compact operations that rewrite the arena wholesale). A
+// handle passed to `//schedlint:arena-free` must not be used again
+// until rebound.
+//
+// The markers ride on the arena type's methods:
+//
+//	//schedlint:arena-alloc
+//	func (a *Slots[T]) Alloc() int32
+//
+//	//schedlint:arena-ref
+//	func (a *Slots[T]) At(i int32) *T
+//
+// and are resolved through Pass.Dep, so consumer packages (the
+// segmented profile) are checked against markers declared in
+// internal/arena.
+//
+// Arenas are identified by the selector path of the method receiver
+// (`p.segs`, `dst.segs`): two refs are invalidated together exactly
+// when their paths name the same objects. Invalidation is
+// interprocedural within a package: a helper whose body (transitively)
+// allocates into an arena reachable from its receiver or parameters
+// invalidates the caller's refs at the call site — segprof's
+// `p.split(h)` kills a held `seg` just like a direct Alloc, and the
+// re-fetch `seg = p.segs.At(h)` revalidates it. When an invalidated
+// arena's path cannot be pinned syntactically, every tracked ref dies
+// (conservative). What this analysis does not see: aliasing between
+// distinct paths naming one arena, refs returned out of helpers, and
+// handles loaded from fields. Findings can be suppressed with
+// `//lint:arenasafe <reason>`.
+package arenasafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer is the arenasafe check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "arenasafe",
+	Doc:       "arena refs must not outlive the next Alloc and handles must not survive Reset/CopyFrom/Free",
+	Directive: "arenasafe",
+	Run:       run,
+}
+
+// marker kinds.
+const (
+	markAlloc      = iota // invalidates refs of the arena, binds a handle
+	markRef               // binds a ref into the arena
+	markFree              // kills the handle passed as first argument
+	markInvalidate        // kills refs and handles of the arena
+)
+
+func buildRegistry(pass *analysis.Pass) map[*types.Func]int {
+	reg := map[*types.Func]int{}
+	add := func(files []*ast.File, info *types.Info) {
+		for key, kind := range map[string]int{
+			"arena-alloc":      markAlloc,
+			"arena-ref":        markRef,
+			"arena-free":       markFree,
+			"arena-invalidate": markInvalidate,
+		} {
+			for _, m := range dataflow.FuncMarkers(files, info, key) {
+				if m.Fn != nil {
+					reg[m.Fn] = kind
+				}
+			}
+		}
+	}
+	add(pass.Files, pass.TypesInfo)
+	if pass.Dep != nil {
+		for _, imp := range pass.Pkg.Imports() {
+			if dep := pass.Dep(imp.Path()); dep != nil {
+				add(dep.Files, dep.TypesInfo)
+			}
+		}
+	}
+	return reg
+}
+
+// sumEntry is one arena a function invalidates, rooted at its receiver
+// (root == -1) or a parameter (root == index), plus the field chain
+// below the root. kill says what dies: refs only (an alloc) or refs
+// and handles (a reset-class boundary).
+type sumEntry struct {
+	root   int
+	fields []*types.Var
+	kill   int // markAlloc or markInvalidate
+}
+
+// asSummary is a function's invalidation effect on its callers.
+type asSummary struct {
+	entries []sumEntry
+	// abs holds arenas named by package-level roots: the key is final.
+	abs map[string]int
+	// all marks an invalidation whose arena could not be pinned:
+	// callers drop everything.
+	all bool
+}
+
+func (s *asSummary) equal(o *asSummary) bool {
+	if o == nil || s.all != o.all || len(s.entries) != len(o.entries) || len(s.abs) != len(o.abs) {
+		return false
+	}
+	for i, e := range s.entries {
+		oe := o.entries[i]
+		if e.root != oe.root || e.kill != oe.kill || len(e.fields) != len(oe.fields) {
+			return false
+		}
+		for j := range e.fields {
+			if e.fields[j] != oe.fields[j] {
+				return false
+			}
+		}
+	}
+	for k, v := range s.abs {
+		if ov, ok := o.abs[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// trk tracks one ref or handle: the arena it points into, whether it
+// is still valid, and what killed it (for the message).
+type trk struct {
+	arena string
+	valid bool
+	by    string
+}
+
+// asState is the walker state: tracked refs and handles by variable.
+type asState struct {
+	refs    map[*types.Var]*trk
+	handles map[*types.Var]*trk
+}
+
+func newState() *asState {
+	return &asState{refs: map[*types.Var]*trk{}, handles: map[*types.Var]*trk{}}
+}
+
+func cloneMap(m map[*types.Var]*trk) map[*types.Var]*trk {
+	c := make(map[*types.Var]*trk, len(m))
+	for v, t := range m {
+		cp := *t
+		c[v] = &cp
+	}
+	return c
+}
+
+func (s *asState) Clone() dataflow.State {
+	return &asState{refs: cloneMap(s.refs), handles: cloneMap(s.handles)}
+}
+
+func joinMap(a, b map[*types.Var]*trk) {
+	for v, bt := range b {
+		at := a[v]
+		if at == nil {
+			cp := *bt
+			a[v] = &cp
+			continue
+		}
+		// "May be stale" wins the join.
+		if at.valid && !bt.valid {
+			at.valid = false
+			at.by = bt.by
+		}
+	}
+}
+
+func (s *asState) Join(o dataflow.State) {
+	os := o.(*asState)
+	joinMap(s.refs, os.refs)
+	joinMap(s.handles, os.handles)
+}
+
+func mapsEqual(a, b map[*types.Var]*trk) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, at := range a {
+		bt := b[v]
+		if bt == nil || at.valid != bt.valid {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *asState) Equal(o dataflow.State) bool {
+	os := o.(*asState)
+	return mapsEqual(s.refs, os.refs) && mapsEqual(s.handles, os.handles)
+}
+
+func run(pass *analysis.Pass) error {
+	reg := buildRegistry(pass)
+	if len(reg) == 0 {
+		return nil
+	}
+	graph := callgraph.Build(pass)
+	a := &asAnalyzer{pass: pass, reg: reg, graph: graph,
+		summaries: map[*callgraph.Node]*asSummary{}}
+	dataflow.Fixpoint(graph, a.update)
+	for _, n := range graph.Nodes {
+		if body := n.Body(); body != nil {
+			a.checkFunc(n, body)
+		}
+	}
+	return nil
+}
+
+type asAnalyzer struct {
+	pass      *analysis.Pass
+	reg       map[*types.Func]int
+	graph     *callgraph.Graph
+	summaries map[*callgraph.Node]*asSummary
+	reported  map[token.Pos]bool
+}
+
+// ownVars returns a node's receiver (index -1) and parameter variables.
+func (a *asAnalyzer) ownVars(n *callgraph.Node) map[*types.Var]int {
+	out := map[*types.Var]int{}
+	addFields := func(fl *ast.FieldList, start int) int {
+		idx := start
+		if fl == nil {
+			return idx
+		}
+		for _, f := range fl.List {
+			if len(f.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range f.Names {
+				if v, ok := a.pass.TypesInfo.Defs[name].(*types.Var); ok {
+					out[v] = idx
+				}
+				idx++
+			}
+		}
+		return idx
+	}
+	if n.Decl != nil {
+		if n.Decl.Recv != nil {
+			for _, f := range n.Decl.Recv.List {
+				for _, name := range f.Names {
+					if v, ok := a.pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = -1
+					}
+				}
+			}
+		}
+		addFields(n.Decl.Type.Params, 0)
+	} else if n.Lit != nil {
+		addFields(n.Lit.Type.Params, 0)
+	}
+	return out
+}
+
+// update recomputes one function's invalidation summary; it returns
+// true when the summary changed (driving the fixpoint).
+func (a *asAnalyzer) update(n *callgraph.Node) bool {
+	body := n.Body()
+	if body == nil {
+		return false
+	}
+	own := a.ownVars(n)
+	sum := &asSummary{abs: map[string]int{}}
+	export := func(path []*types.Var, kill int) {
+		if path == nil {
+			sum.all = true
+			return
+		}
+		root := path[0]
+		if idx, ok := own[root]; ok {
+			sum.entries = append(sum.entries, sumEntry{root: idx, fields: path[1:], kill: kill})
+			return
+		}
+		if root.Parent() == a.pass.Pkg.Scope() {
+			if old, ok := sum.abs[dataflow.PathKey(path)]; !ok || kill == markInvalidate && old == markAlloc {
+				sum.abs[dataflow.PathKey(path)] = kill
+			}
+		}
+		// Locally rooted arenas do not outlive the call frame as far as
+		// callers can name them; no export.
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok && x != n.Lit {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := dataflow.CalledFunc(a.pass.TypesInfo, call); fn != nil {
+			if kind, ok := a.reg[fn]; ok {
+				if kind == markAlloc || kind == markInvalidate {
+					export(a.recvPath(call), kind)
+				}
+				return true
+			}
+		}
+		if callee := a.graph.Resolve(a.pass.TypesInfo, call); callee != nil {
+			if cs := a.summaries[callee]; cs != nil {
+				if cs.all {
+					export(nil, markInvalidate)
+				}
+				for key, kill := range cs.abs {
+					if old, ok := sum.abs[key]; !ok || kill == markInvalidate && old == markAlloc {
+						sum.abs[key] = kill
+					}
+				}
+				for _, e := range cs.entries {
+					arg := a.argExpr(call, e.root)
+					if arg == nil {
+						export(nil, e.kill)
+						continue
+					}
+					base := dataflow.SelectorPath(a.pass.TypesInfo, arg)
+					if base == nil {
+						export(nil, e.kill)
+						continue
+					}
+					export(append(append([]*types.Var{}, base...), e.fields...), e.kill)
+				}
+			}
+		}
+		return true
+	})
+	prev := a.summaries[n]
+	if prev != nil && prev.equal(sum) {
+		return false
+	}
+	a.summaries[n] = sum
+	return true
+}
+
+// argExpr returns the expression bound to a callee's receiver (-1) or
+// parameter index at this call site.
+func (a *asAnalyzer) argExpr(call *ast.CallExpr, root int) ast.Expr {
+	if root < 0 {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return sel.X
+		}
+		return nil
+	}
+	if root < len(call.Args) {
+		return call.Args[root]
+	}
+	return nil
+}
+
+// recvPath names the arena a marked method call operates on, or nil.
+func (a *asAnalyzer) recvPath(call *ast.CallExpr) []*types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return dataflow.SelectorPath(a.pass.TypesInfo, sel.X)
+}
+
+// checkFunc walks one body, tracking refs and handles.
+func (a *asAnalyzer) checkFunc(node *callgraph.Node, body *ast.BlockStmt) {
+	a.reported = map[token.Pos]bool{}
+	hook := func(st dataflow.State, n ast.Node) { a.transfer(st.(*asState), n) }
+	dataflow.Walk(body, newState(), dataflow.Hooks{
+		Transfer: hook,
+		Defer:    func(st dataflow.State, call *ast.CallExpr) { a.applyCalls(st.(*asState), call) },
+	})
+}
+
+func (a *asAnalyzer) reportOnce(pos token.Pos, format string, args ...any) {
+	if a.reported[pos] {
+		return
+	}
+	a.reported[pos] = true
+	a.pass.Reportf(pos, format, args...)
+}
+
+// transfer interprets one atomic statement: check uses against the
+// incoming state, apply the invalidations its calls perform, then
+// apply new bindings.
+func (a *asAnalyzer) transfer(s *asState, n ast.Node) {
+	a.checkUses(s, n)
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			a.applyCalls(s, call)
+		}
+		return true
+	})
+	a.applyBindings(s, n)
+}
+
+// checkUses reports reads of stale refs/handles and drops variables
+// captured by function literals.
+func (a *asAnalyzer) checkUses(s *asState, n ast.Node) {
+	skip := map[*ast.Ident]bool{}
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				skip[id] = true // a plain rebinding kills, it does not read
+			}
+		}
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			// Captured refs escape this analysis; stop tracking them.
+			ast.Inspect(x.Body, func(y ast.Node) bool {
+				if id, ok := y.(*ast.Ident); ok {
+					if v, ok := a.pass.TypesInfo.Uses[id].(*types.Var); ok {
+						delete(s.refs, v)
+						delete(s.handles, v)
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.Ident:
+			if skip[x] {
+				return true
+			}
+			v, _ := a.pass.TypesInfo.Uses[x].(*types.Var)
+			if v == nil {
+				return true
+			}
+			if t := s.refs[v]; t != nil && !t.valid {
+				a.reportOnce(x.Pos(), "arena reference %s used after %s", x.Name, t.by)
+			}
+			if t := s.handles[v]; t != nil && !t.valid {
+				a.reportOnce(x.Pos(), "arena handle %s used after %s", x.Name, t.by)
+			}
+		}
+		return true
+	})
+}
+
+// applyCalls performs the invalidations one call implies.
+func (a *asAnalyzer) applyCalls(s *asState, call *ast.CallExpr) {
+	fn := dataflow.CalledFunc(a.pass.TypesInfo, call)
+	if fn != nil {
+		if kind, ok := a.reg[fn]; ok {
+			switch kind {
+			case markAlloc:
+				a.kill(s, a.recvPath(call), markAlloc, fn.Name())
+			case markInvalidate:
+				a.kill(s, a.recvPath(call), markInvalidate, fn.Name())
+			case markFree:
+				if len(call.Args) > 0 {
+					if v := dataflow.LocalVar(a.pass.TypesInfo, a.pass.Pkg, call.Args[0]); v != nil {
+						if t := s.handles[v]; t != nil {
+							t.valid = false
+							t.by = fn.Name()
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+	callee := a.graph.Resolve(a.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	cs := a.summaries[callee]
+	if cs == nil {
+		return
+	}
+	name := callee.Name
+	if cs.all {
+		a.kill(s, nil, markInvalidate, name)
+	}
+	for key, kill := range cs.abs {
+		a.killKey(s, key, kill, name)
+	}
+	for _, e := range cs.entries {
+		arg := a.argExpr(call, e.root)
+		var path []*types.Var
+		if arg != nil {
+			if base := dataflow.SelectorPath(a.pass.TypesInfo, arg); base != nil {
+				path = append(append([]*types.Var{}, base...), e.fields...)
+			}
+		}
+		a.kill(s, path, e.kill, name)
+	}
+}
+
+// kill invalidates the refs (and, for reset-class kills, handles) of
+// the arena named by path; a nil path kills everything.
+func (a *asAnalyzer) kill(s *asState, path []*types.Var, kind int, by string) {
+	if path == nil {
+		for _, t := range s.refs {
+			if t.valid {
+				t.valid = false
+				t.by = by
+			}
+		}
+		if kind == markInvalidate {
+			for _, t := range s.handles {
+				if t.valid {
+					t.valid = false
+					t.by = by
+				}
+			}
+		}
+		return
+	}
+	a.killKey(s, dataflow.PathKey(path), kind, by)
+}
+
+func (a *asAnalyzer) killKey(s *asState, key string, kind int, by string) {
+	for _, t := range s.refs {
+		if t.valid && t.arena == key {
+			t.valid = false
+			t.by = by
+		}
+	}
+	if kind == markInvalidate {
+		for _, t := range s.handles {
+			if t.valid && t.arena == key {
+				t.valid = false
+				t.by = by
+			}
+		}
+	}
+}
+
+// applyBindings tracks ref/handle variables bound from marked calls
+// and kills rebindings from anything else.
+func (a *asAnalyzer) applyBindings(s *asState, n ast.Node) {
+	bind := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v := dataflow.LocalVar(a.pass.TypesInfo, a.pass.Pkg, id)
+		if v == nil {
+			return
+		}
+		delete(s.refs, v)
+		delete(s.handles, v)
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := dataflow.CalledFunc(a.pass.TypesInfo, call)
+		if fn == nil {
+			return
+		}
+		kind, ok := a.reg[fn]
+		if !ok {
+			return
+		}
+		path := a.recvPath(call)
+		if path == nil {
+			return // unnameable arena: cannot match invalidations
+		}
+		t := &trk{arena: dataflow.PathKey(path), valid: true}
+		switch kind {
+		case markRef:
+			s.refs[v] = t
+		case markAlloc:
+			s.handles[v] = t
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				bind(n.Lhs[i], n.Rhs[i])
+			}
+			return
+		}
+		// Tuple form (h, i := f()): the targets are rebound to values
+		// this analysis does not model; stop tracking them.
+		for _, lhs := range n.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if v := dataflow.LocalVar(a.pass.TypesInfo, a.pass.Pkg, id); v != nil {
+					delete(s.refs, v)
+					delete(s.handles, v)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == len(vs.Values) {
+					for i := range vs.Names {
+						bind(vs.Names[i], vs.Values[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package arenasafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/arenasafe"
+)
+
+func TestArenaSafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), arenasafe.Analyzer, "prof")
+}

@@ -1,0 +1,128 @@
+// Package prof is the consumer side of the arenasafe fixture: a
+// condensed segmented profile seeding each diagnostic class (a ref
+// held across Alloc, a handle surviving Reset, use after Free, a
+// helper whose transitive Alloc kills the caller's ref, a clone
+// boundary clobbering refs into the destination) next to the fixed
+// variants that must stay silent (the re-fetch pattern, independent
+// arenas, rebinding, and a reasoned suppression).
+package prof
+
+import "slab"
+
+type seg struct {
+	n    int32
+	next int32
+}
+
+// P is the arena-backed structure under test.
+type P struct {
+	segs slab.Slots[seg]
+	head int32
+}
+
+// grow allocates into the receiver's arena: its callers' refs die.
+func (p *P) grow() int32 {
+	return p.segs.Alloc()
+}
+
+// --- seeded violations ---
+
+// RefAcrossAlloc holds a pointer across the call that may move the
+// backing array.
+func (p *P) RefAcrossAlloc() int32 {
+	h := p.segs.Alloc()
+	s := p.segs.At(h)
+	nh := p.segs.Alloc()
+	s.next = nh // want `arena reference s used after Alloc`
+	return h
+}
+
+// HandleAfterReset keeps a handle across the boundary that discards
+// every slot.
+func (p *P) HandleAfterReset() *seg {
+	h := p.segs.Alloc()
+	p.segs.Reset()
+	return p.segs.At(h) // want `arena handle h used after Reset`
+}
+
+// UseAfterFree touches a recycled handle.
+func (p *P) UseAfterFree() {
+	h := p.segs.Alloc()
+	p.segs.Free(h)
+	p.segs.At(h).n = 0 // want `arena handle h used after Free`
+}
+
+// HelperKills loses its ref to a helper that allocates transitively.
+func (p *P) HelperKills() {
+	h := p.segs.Alloc()
+	s := p.segs.At(h)
+	p.grow()
+	s.n++ // want `arena reference s used after .*grow`
+}
+
+// CloneClobber holds a ref into the destination across the wholesale
+// rewrite.
+func (p *P) CloneClobber(src *P) {
+	h := p.segs.Alloc()
+	s := p.segs.At(h)
+	p.segs.CopyFrom(&src.segs)
+	s.n = 1 // want `arena reference s used after CopyFrom`
+}
+
+// --- fixed variants: silent ---
+
+// Refetch rebinds after the alloc — the segprof split pattern.
+func (p *P) Refetch() {
+	h := p.segs.Alloc()
+	s := p.segs.At(h)
+	s.n = 1
+	nh := p.segs.Alloc()
+	s = p.segs.At(h)
+	s.next = nh
+}
+
+// TwoArenas allocates into one arena while holding a ref into another.
+func TwoArenas(a, b *P) {
+	h := a.segs.Alloc()
+	s := a.segs.At(h)
+	_ = b.segs.Alloc()
+	s.n = 2
+}
+
+// ReboundHandle rebinds the freed handle before reuse.
+func (p *P) ReboundHandle() {
+	h := p.segs.Alloc()
+	p.segs.Free(h)
+	h = p.segs.Alloc()
+	p.segs.At(h).n = 3
+}
+
+// BranchRefetch re-fetches on the arm that allocated.
+func (p *P) BranchRefetch(full bool) {
+	h := p.segs.Alloc()
+	s := p.segs.At(h)
+	if full {
+		_ = p.segs.Alloc()
+		s = p.segs.At(h)
+	}
+	s.n = 4
+}
+
+// peek only reads the arena: callers' refs survive it.
+func (p *P) peek(h int32) int32 { return p.segs.At(h).n }
+
+// SurvivesPeek holds a ref across a non-allocating helper.
+func (p *P) SurvivesPeek() {
+	h := p.segs.Alloc()
+	s := p.segs.At(h)
+	_ = p.peek(h)
+	s.n = 5
+}
+
+// Suppressed documents why holding the ref is sound here.
+func (p *P) Suppressed() {
+	h := p.segs.Alloc()
+	s := p.segs.At(h)
+	_ = p.segs.Alloc()
+	s.n = 6 //lint:arenasafe the arena was pre-grown; this alloc reuses the freelist
+}

@@ -1,0 +1,51 @@
+// Package slab is the arena side of the arenasafe fixture: a
+// condensed internal/arena.Slots carrying the lifetime markers the
+// consumer package (prof) is checked against through Pass.Dep.
+package slab
+
+// Slots is a growable arena of T values addressed by int32 handles.
+type Slots[T any] struct {
+	slots []T
+	free  []int32
+}
+
+// Alloc returns a handle to a slot; growth may move the backing array,
+// so previously returned At pointers die here.
+//
+//schedlint:arena-alloc
+func (a *Slots[T]) Alloc() int32 {
+	if n := len(a.free); n > 0 {
+		h := a.free[n-1]
+		a.free = a.free[:n-1]
+		return h
+	}
+	var zero T
+	a.slots = append(a.slots, zero)
+	return int32(len(a.slots) - 1)
+}
+
+// At returns a pointer into the arena, valid until the next Alloc.
+//
+//schedlint:arena-ref
+func (a *Slots[T]) At(i int32) *T { return &a.slots[i] }
+
+// Free recycles a handle; the handle must not be used again.
+//
+//schedlint:arena-free
+func (a *Slots[T]) Free(i int32) { a.free = append(a.free, i) }
+
+// Reset discards every live slot: all refs and handles die.
+//
+//schedlint:arena-invalidate
+func (a *Slots[T]) Reset() {
+	a.slots = a.slots[:0]
+	a.free = a.free[:0]
+}
+
+// CopyFrom rewrites the arena wholesale: all refs and handles die.
+//
+//schedlint:arena-invalidate
+func (a *Slots[T]) CopyFrom(src *Slots[T]) {
+	a.slots = append(a.slots[:0], src.slots...)
+	a.free = append(a.free[:0], src.free...)
+}

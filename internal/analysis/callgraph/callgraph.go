@@ -171,6 +171,16 @@ func (g *Graph) wire(pass *analysis.Pass, n *Node) {
 
 // resolve maps a call expression to a same-package node, or nil.
 func (g *Graph) resolve(pass *analysis.Pass, call *ast.CallExpr) *Node {
+	return g.Resolve(pass.TypesInfo, call)
+}
+
+// Resolve maps a call expression to its same-package node — declared
+// function, method, or immediately-invoked literal — or nil. It is
+// the exported form of the wiring resolver, for analyzers that need
+// call targets at specific program points (the dataflow walkers
+// resolve callees statement by statement rather than from the
+// pre-wired edge list).
+func (g *Graph) Resolve(info *types.Info, call *ast.CallExpr) *Node {
 	fun := ast.Unparen(call.Fun)
 	// Generic instantiation: f[T](...) — unwrap the index.
 	switch ix := fun.(type) {
@@ -183,13 +193,13 @@ func (g *Graph) resolve(pass *analysis.Pass, call *ast.CallExpr) *Node {
 	case *ast.FuncLit:
 		return g.byLit[fun]
 	case *ast.Ident:
-		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
 			return g.byFunc[originOf(fn)]
 		}
 	case *ast.SelectorExpr:
 		// Method call or qualified cross-package call; Uses resolves
 		// both, and byFunc filters to this package.
-		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
 			return g.byFunc[originOf(fn)]
 		}
 	}

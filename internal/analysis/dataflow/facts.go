@@ -1,0 +1,312 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// markerPrefix mirrors the `//schedlint:` declaration-marker syntax of
+// the analysis package (see analysis.Markers); duplicated here so the
+// attachment helpers can parse comment groups that the parser hangs
+// directly off declarations and struct fields.
+const markerPrefix = "//schedlint:"
+
+func parseMarker(c *ast.Comment, key string) (args string, ok bool) {
+	text := c.Text
+	// The marker may trail other commentary on the same line — field
+	// annotations routinely compose with lockcheck's guard comments,
+	// as in `// guarded by mu //schedlint:epoch-guarded by bump`.
+	i := strings.Index(text, markerPrefix)
+	if i < 0 {
+		return "", false
+	}
+	k, rest, _ := strings.Cut(strings.TrimPrefix(text[i:], markerPrefix), " ")
+	if k != key {
+		return "", false
+	}
+	// Anything after an embedded `//` is commentary (fixture `// want`
+	// expectations ride on marker lines), not marker arguments.
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// FuncMarker is a `//schedlint:<key>` marker attached to a function or
+// method declaration (in its doc comment).
+type FuncMarker struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Args string
+	Pos  token.Pos
+}
+
+// FuncMarkers returns the declarations carrying a marker of the given
+// key, in file order. info maps the declaration names to their
+// checker objects, so the result can be matched against call targets
+// from any package that can see these files (via Pass.Dep).
+func FuncMarkers(files []*ast.File, info *types.Info, key string) []FuncMarker {
+	var out []FuncMarker
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				args, ok := parseMarker(c, key)
+				if !ok {
+					continue
+				}
+				fn, _ := info.Defs[fd.Name].(*types.Func)
+				out = append(out, FuncMarker{Fn: fn, Decl: fd, Args: args, Pos: c.Pos()})
+			}
+		}
+	}
+	return out
+}
+
+// FieldMarker is a `//schedlint:<key>` marker attached to a struct
+// field (trailing comment or field doc line).
+type FieldMarker struct {
+	Field  *types.Var
+	Struct string // the enclosing type's name, for messages
+	Args   string
+	Pos    token.Pos
+}
+
+// FieldMarkers returns the struct fields carrying a marker of the
+// given key, in file order.
+func FieldMarkers(files []*ast.File, info *types.Info, key string) []FieldMarker {
+	var out []FieldMarker
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+						if cg == nil {
+							continue
+						}
+						for _, c := range cg.List {
+							args, ok := parseMarker(c, key)
+							if !ok {
+								continue
+							}
+							for _, name := range field.Names {
+								v, _ := info.Defs[name].(*types.Var)
+								if v != nil {
+									out = append(out, FieldMarker{Field: v, Struct: ts.Name.Name, Args: args, Pos: c.Pos()})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FieldWrite is one write to a tracked struct field: a plain or
+// compound assignment, an element write through the field (s.m[k] = v
+// mutates the map held in m), an inc/dec, or a delete() on a
+// field-held map.
+type FieldWrite struct {
+	Field *types.Var
+	// Root is the base variable the write reaches through (the `s` in
+	// `s.queued = ...`). Analyzers use it to separate writes to a
+	// published object (receiver, parameter, captured variable) from
+	// initialization of a fresh local that nobody observes yet.
+	Root *types.Var
+	Pos  token.Pos
+}
+
+// FieldWritesIn returns the writes to tracked fields within n, in
+// source order, without descending into nested function literals
+// (each literal is its own call-graph node and is analyzed
+// separately).
+func FieldWritesIn(info *types.Info, n ast.Node, tracked func(*types.Var) bool) []FieldWrite {
+	if n == nil {
+		return nil
+	}
+	var out []FieldWrite
+	note := func(e ast.Expr) {
+		if v, root := writtenField(info, e); v != nil && tracked(v) {
+			out = append(out, FieldWrite{Field: v, Root: root, Pos: e.Pos()})
+		}
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				note(lhs)
+			}
+		case *ast.IncDecStmt:
+			note(x.X)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "delete" && len(x.Args) == 2 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					note(x.Args[0])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// writtenField resolves the struct field an assignment target mutates
+// — the field itself (s.f = x) or the field whose contents an element
+// write reaches through (s.f[k] = x, *s.f = x) — plus the root
+// variable of the selector chain.
+func writtenField(info *types.Info, e ast.Expr) (field, root *types.Var) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			path := SelectorPath(info, x)
+			if len(path) < 2 {
+				return nil, nil
+			}
+			if last := path[len(path)-1]; last.IsField() {
+				return last, path[0]
+			}
+			return nil, nil
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// LocalVar resolves e to the function-local variable it names, or nil
+// for fields, package-level variables, and non-identifier expressions.
+func LocalVar(info *types.Info, pkg *types.Package, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	var v *types.Var
+	if u, ok := info.Uses[id].(*types.Var); ok {
+		v = u
+	} else if d, ok := info.Defs[id].(*types.Var); ok {
+		v = d
+	}
+	if v == nil || v.IsField() {
+		return nil
+	}
+	if pkg != nil && v.Parent() == pkg.Scope() {
+		return nil
+	}
+	return v
+}
+
+// SelectorPath resolves a variable or selector chain — p, p.segs,
+// s.sched.pool — to the object path it names: the root variable
+// followed by the fields selected, unwrapping pointers, parens, and a
+// leading address-of. It returns nil for anything whose identity
+// cannot be pinned syntactically (calls, indexing, type assertions).
+func SelectorPath(info *types.Info, e ast.Expr) []*types.Var {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	if s, ok := e.(*ast.StarExpr); ok {
+		e = ast.Unparen(s.X)
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return []*types.Var{v}
+		}
+		if v, ok := info.Defs[x].(*types.Var); ok {
+			return []*types.Var{v}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		// Package-qualified variable: pkg.V is a root, not a selection.
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+					return []*types.Var{v}
+				}
+				return nil
+			}
+		}
+		base := SelectorPath(info, x.X)
+		if base == nil {
+			return nil
+		}
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return append(base, v)
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// PathKey renders an object path as a comparable map key. Object
+// identity, not name, distinguishes the keys: two distinct variables
+// named "p" never collide.
+func PathKey(path []*types.Var) string {
+	var b strings.Builder
+	for i, v := range path {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(v.Name())
+		b.WriteByte('#')
+		b.WriteString(strconv.Itoa(int(v.Pos())))
+	}
+	return b.String()
+}
+
+// CalledFunc resolves the function or method a call invokes, in any
+// package, unwrapping generic instantiation. It returns nil for
+// builtins, conversions, and calls through function values.
+func CalledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	var obj types.Object
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}

@@ -1,0 +1,38 @@
+package dataflow
+
+import "repro/internal/analysis/callgraph"
+
+// Fixpoint repeatedly applies update to every node of the graph until
+// a full round reports no change. Analyzers use it to close function
+// summaries over the call graph: update recomputes one node's summary
+// from its callees' current summaries and reports whether it grew.
+// With monotone summaries over finite lattices the iteration
+// terminates; recursion simply converges at the loop's least fixed
+// point.
+func Fixpoint(g *callgraph.Graph, update func(*callgraph.Node) bool) {
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if update(n) {
+				changed = true
+			}
+		}
+	}
+}
+
+// SyncCallers counts, per node, its same-package synchronous call
+// sites (direct, method, IIFE, and deferred edges — not spawns). A
+// node with zero synchronous callers is an analysis entry point:
+// nothing in the package runs after it returns, so any obligation it
+// leaves open escapes the package. Spawned functions are entries by
+// construction — a `go` statement's caller cannot discharge anything
+// on the spawned function's behalf.
+func SyncCallers(g *callgraph.Graph) map[*callgraph.Node]int {
+	out := make(map[*callgraph.Node]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, e := range n.Calls {
+			out[e.Callee]++
+		}
+	}
+	return out
+}

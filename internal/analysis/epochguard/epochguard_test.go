@@ -1,0 +1,12 @@
+package epochguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/epochguard"
+)
+
+func TestEpochGuard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), epochguard.Analyzer, "rms")
+}

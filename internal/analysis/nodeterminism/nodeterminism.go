@@ -48,6 +48,10 @@ var strictPkgs = map[string]bool{
 	"rms": true, "job": true, "metrics": true, "trace": true,
 	"config": true, "experiments": true, "backoff": true,
 	"campaign": true, "arena": true,
+	// The analyzers themselves must be deterministic: SARIF output and
+	// golden fixtures are diffed byte-for-byte in CI.
+	"dataflow": true, "epochguard": true, "poollife": true,
+	"arenasafe": true,
 }
 
 // daemonPkgs may annotate genuinely wall-clock paths.

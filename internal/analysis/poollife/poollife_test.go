@@ -1,0 +1,12 @@
+package poollife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poollife"
+)
+
+func TestPoolLife(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), poollife.Analyzer, "pool")
+}

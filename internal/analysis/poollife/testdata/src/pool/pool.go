@@ -1,0 +1,158 @@
+// Package pool is the poollife golden fixture: a condensed scheduler
+// shape seeding each diagnostic class (use after release, double
+// release, a return path that forgets to release, a result dropped on
+// the floor) next to the fixed variants that must stay silent
+// (straight-line release, deferred release, release on every branch,
+// inline Recycle(Take()), borrows, and the escape forms — return,
+// field store, closure capture).
+package pool
+
+import "errors"
+
+// Result is the pooled object.
+type Result struct {
+	N       int
+	Actions []int
+}
+
+// Sched hands out pooled Results.
+type Sched struct {
+	last *Result
+	pool []*Result
+}
+
+// Take acquires a pooled Result.
+//
+//schedlint:pool Result
+func (s *Sched) Take() *Result {
+	if n := len(s.pool); n > 0 {
+		r := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return r
+	}
+	return &Result{}
+}
+
+// Recycle returns a Result to the pool.
+//
+//schedlint:pool-release Result
+func (s *Sched) Recycle(r *Result) {
+	r.Actions = r.Actions[:0]
+	s.pool = append(s.pool, r)
+}
+
+func observe(r *Result) int { return r.N }
+
+// --- seeded violations ---
+
+// UseAfter reads the result after handing it back.
+func (s *Sched) UseAfter() int {
+	res := s.Take()
+	s.Recycle(res)
+	return observe(res) // want `pooled Result used after Recycle`
+}
+
+// DoubleFree returns the same result twice.
+func (s *Sched) DoubleFree() {
+	res := s.Take()
+	s.Recycle(res)
+	s.Recycle(res) // want `pooled Result released twice`
+}
+
+// LeakOnError forgets the release on the early-exit path.
+func (s *Sched) LeakOnError(bad bool) error {
+	res := s.Take()
+	if bad {
+		return errors.New("skipped") // want `pooled Result may reach return without Recycle`
+	}
+	s.Recycle(res)
+	return nil
+}
+
+// Dropped discards the result without releasing or keeping it.
+func (s *Sched) Dropped() {
+	s.Take() // want `pooled Result dropped without release`
+}
+
+// BranchUse recycles on one arm and then touches the maybe-released
+// result.
+func (s *Sched) BranchUse(done bool) int {
+	res := s.Take()
+	if done {
+		s.Recycle(res)
+	}
+	return res.N // want `pooled Result used after Recycle` `pooled Result may reach return without Recycle`
+}
+
+// --- fixed variants: silent ---
+
+// RoundTrip is the straight-line discipline.
+func (s *Sched) RoundTrip() int {
+	res := s.Take()
+	n := observe(res) // a borrow: the callee may look, obligation stays
+	s.Recycle(res)
+	return n
+}
+
+// DeferredRecycle releases on the way out, whatever path returns.
+func (s *Sched) DeferredRecycle(bad bool) (int, error) {
+	res := s.Take()
+	defer s.Recycle(res)
+	if bad {
+		return 0, errors.New("no work")
+	}
+	return res.N, nil
+}
+
+// BothArms releases on every branch.
+func (s *Sched) BothArms(fast bool) {
+	res := s.Take()
+	if fast {
+		s.Recycle(res)
+	} else {
+		res.N++
+		s.Recycle(res)
+	}
+}
+
+// Inline releases a fresh result in the same expression (the mauid
+// daemon's Recycle(Iterate(...)) shape).
+func (s *Sched) Inline() {
+	s.Recycle(s.Take())
+}
+
+// Handoff transfers the obligation to the caller.
+func (s *Sched) Handoff() *Result {
+	return s.Take()
+}
+
+// Publish escapes the result into a field; the release happens later,
+// elsewhere.
+func (s *Sched) Publish() {
+	s.last = s.Take()
+}
+
+// Captured escapes the result into a closure.
+func (s *Sched) Captured() func() {
+	res := s.Take()
+	return func() { s.Recycle(res) }
+}
+
+// LoopBody releases every iteration's result before acquiring the
+// next.
+func (s *Sched) LoopBody(rounds int) int {
+	total := 0
+	for i := 0; i < rounds; i++ {
+		res := s.Take()
+		total += res.N
+		s.Recycle(res)
+	}
+	return total
+}
+
+// Suppressed documents why the apparent leak is fine. The leak is
+// reported at the acquisition site, so the directive rides there.
+func (s *Sched) Suppressed() {
+	res := s.Take() //lint:poollife the test harness recycles via Sched teardown
+	_ = res.N
+}

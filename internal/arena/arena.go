@@ -18,6 +18,8 @@ type Slots[T any] struct {
 
 // Alloc returns a handle to a slot. The slot's contents are undefined
 // (it may hold data from a previous tenant); callers overwrite it.
+//
+//schedlint:arena-alloc
 func (a *Slots[T]) Alloc() int32 {
 	if n := len(a.free); n > 0 {
 		idx := a.free[n-1]
@@ -31,15 +33,22 @@ func (a *Slots[T]) Alloc() int32 {
 
 // At returns a pointer to the slot. The pointer is invalidated by the
 // next Alloc (the backing slice may grow); do not hold it across one.
+//
+//schedlint:arena-ref
 func (a *Slots[T]) At(i int32) *T { return &a.slots[i] }
 
 // Free returns the slot to the freelist. The value is not cleared;
 // arenas holding pointers should zero the slot first if GC retention
 // matters (segment arenas hold only scalars, so they do not).
+//
+//schedlint:arena-free
 func (a *Slots[T]) Free(i int32) { a.free = append(a.free, i) }
 
 // Reset discards all live slots but keeps the backing storage, so the
-// next build cycle allocates nothing.
+// next build cycle allocates nothing. Every outstanding handle and
+// pointer into the arena is invalid afterwards.
+//
+//schedlint:arena-invalidate
 func (a *Slots[T]) Reset() {
 	a.slots = a.slots[:0]
 	a.free = a.free[:0]
@@ -51,7 +60,10 @@ func (a *Slots[T]) Cap() int { return len(a.slots) }
 // CopyFrom makes a structurally identical copy of src (same handles
 // map to the same values, same freelist), reusing a's storage. The
 // one-memcpy clone is what makes arena-backed structures cheap to
-// what-if against.
+// what-if against. Handles into src stay valid (and address the same
+// values in a); prior handles and pointers into a do not.
+//
+//schedlint:arena-invalidate
 func (a *Slots[T]) CopyFrom(src *Slots[T]) {
 	if cap(a.slots) < len(src.slots) {
 		a.slots = make([]T, len(src.slots))

@@ -527,6 +527,13 @@ func compareResults(t *testing.T, step int, got, want *IterationResult, full boo
 // vectors behind every fairness verdict. Both RM flavours are covered:
 // the tracked one exercises the order cache, QueueRef and the
 // event-driven skip; the plain one the uncached paths.
+//
+// Between mutation steps the schedule interleaves frozen-epoch idle
+// ticks against the incremental side only: the tracked RM must
+// short-circuit them and the plain RM must replan them to the same
+// fixed point, and in neither implementation may an idle tick mutate
+// the RM — otherwise the instance silently diverges from the oracle
+// and the next step's comparison unmasks it.
 func TestSchedulerDifferential(t *testing.T) {
 	for seed := int64(1); seed <= 25; seed++ {
 		for _, tracked := range []bool{true, false} {
@@ -539,12 +546,66 @@ func TestSchedulerDifferential(t *testing.T) {
 				sched := New(opts, 0)
 				oracle := newOracle(sc.options()) // independent fairness state
 				for i, st := range sc.steps {
+					// Stamp the RMs' virtual clock so StartJob records
+					// real start times (a live RM does the same); a job
+					// started with StartTime 0 would look like a
+					// walltime overrun releasing its cores immediately,
+					// and same-instant replans would cascade phantom
+					// starts instead of reaching a fixed point.
+					inA.base.now = st.now
+					inB.base.now = st.now
 					mutated := inA.applyStep(st)
 					inB.applyStep(st)
 					resA := sched.Iterate(st.now, inA.rm)
 					resB := oracle.iterate(st.now, inB.rm)
 					compareResults(t, i, resA, resB, mutated || !tracked)
 					sched.Recycle(resA)
+					// Settle phase: a single pass is deliberately not
+					// idempotent (StrictSystemPriority computes its
+					// suppression flag before the loop, so the tick that
+					// starts the system job still suppresses everyone
+					// behind it; deferred dyn decisions can likewise fire
+					// a round late). Re-iterate both implementations at
+					// the same now, still in lockstep with the oracle,
+					// until a round changes nothing.
+					maxSettle := len(inA.base.queued) + len(inA.base.dyn) + 2
+					for round := 0; ; round++ {
+						if round >= maxSettle {
+							t.Fatalf("step %d: no fixed point after %d settle rounds", i, round)
+						}
+						nq, na, nd := len(inA.base.queued), len(inA.base.active), len(inA.base.dyn)
+						sA := sched.Iterate(st.now, inA.rm)
+						sB := oracle.iterate(st.now, inB.rm)
+						// A settled tracked round may skip, returning a
+						// degenerate result with no reservations; compare
+						// the decision set only.
+						compareResults(t, i, sA, sB, !tracked)
+						quiet := len(sA.Started)+len(sA.Backfilled)+sA.GrantedCount() == 0
+						sched.Recycle(sA)
+						if quiet && len(inA.base.queued) == nq && len(inA.base.active) == na && len(inA.base.dyn) == nd {
+							break
+						}
+					}
+					for tick := 0; tick < 2; tick++ {
+						nq, na, nd := len(inA.base.queued), len(inA.base.active), len(inA.base.dyn)
+						var e0, q0 uint64
+						if inA.track != nil {
+							e0, q0 = inA.track.epoch, inA.track.qepoch
+						}
+						idle := sched.Iterate(st.now, inA.rm)
+						if len(idle.Started)+len(idle.Backfilled)+idle.GrantedCount() != 0 {
+							t.Fatalf("step %d idle tick %d made decisions: %d started, %d backfilled, %d granted",
+								i, tick, len(idle.Started), len(idle.Backfilled), idle.GrantedCount())
+						}
+						sched.Recycle(idle)
+						if len(inA.base.queued) != nq || len(inA.base.active) != na || len(inA.base.dyn) != nd {
+							t.Fatalf("step %d idle tick %d mutated the RM", i, tick)
+						}
+						if inA.track != nil && (inA.track.epoch != e0 || inA.track.qepoch != q0) {
+							t.Fatalf("step %d idle tick %d bumped epochs %d/%d → %d/%d",
+								i, tick, e0, q0, inA.track.epoch, inA.track.qepoch)
+						}
+					}
 				}
 			})
 		}

@@ -1,0 +1,30 @@
+//go:build race
+
+package core
+
+// poolCheckEnabled reports whether the IterationResult pool lifetime
+// guard is compiled in. It rides the race detector: the builds that
+// hunt for interleaving bugs are the ones that should also catch a
+// result recycled twice or taken while already live, and the hot
+// simulation path stays branch-free in normal builds.
+const poolCheckEnabled = true
+
+// poisonOnRecycle flips the result's generation to the pooled (odd)
+// state, panicking if it is already pooled — the caller is recycling
+// a result it no longer owns, which would hand the same backing
+// slices to two future iterations.
+func (r *IterationResult) poisonOnRecycle() {
+	if r.poolGen&1 == 1 {
+		panic("core: IterationResult recycled twice; the caller no longer owns it")
+	}
+	r.poolGen++
+}
+
+// clearOnTake flips a pooled result's generation back to the live
+// (even) state as it leaves the pool.
+func (r *IterationResult) clearOnTake() {
+	if r.poolGen&1 == 0 {
+		panic("core: pooled IterationResult is already live; pool corrupted")
+	}
+	r.poolGen++
+}

@@ -1,0 +1,11 @@
+//go:build !race
+
+package core
+
+// See poolcheck.go: the pool lifetime guard is compiled in only under
+// the race detector; these stubs keep the normal build branch-free.
+const poolCheckEnabled = false
+
+func (r *IterationResult) poisonOnRecycle() {}
+
+func (r *IterationResult) clearOnTake() {}

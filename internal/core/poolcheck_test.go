@@ -1,0 +1,38 @@
+package core
+
+import "testing"
+
+// TestRecycleTwicePanics: under the race detector, recycling a result
+// the caller no longer owns must panic instead of corrupting a later
+// iteration's backing slices.
+func TestRecycleTwicePanics(t *testing.T) {
+	if !poolCheckEnabled {
+		t.Skip("pool lifetime guard is compiled in only under -race")
+	}
+	s := New(Options{}, 0)
+	res := s.takeResult()
+	s.Recycle(res)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Recycle must panic under the race detector")
+		}
+	}()
+	s.Recycle(res)
+}
+
+// TestRecycleTakeRoundTrip: the generation flips pooled↔live across
+// recycle/take cycles, so a legitimate reuse never trips the guard.
+func TestRecycleTakeRoundTrip(t *testing.T) {
+	if !poolCheckEnabled {
+		t.Skip("pool lifetime guard is compiled in only under -race")
+	}
+	s := New(Options{}, 0)
+	res := s.takeResult()
+	for i := 0; i < 3; i++ {
+		s.Recycle(res)
+		got := s.takeResult()
+		if got != res {
+			t.Fatalf("cycle %d: pool returned a different result", i)
+		}
+	}
+}

@@ -124,6 +124,11 @@ type IterationResult struct {
 	// delayBuf is the arena the per-decision Delays slices are carved
 	// from; it lives and dies with the result.
 	delayBuf []fairness.JobDelay
+
+	// poolGen is the pool lifetime guard: odd while the result sits in
+	// the pool, even while a caller owns it. Checked (and advanced)
+	// only in race-detector builds; see poolcheck.go.
+	poolGen uint64
 }
 
 // GrantedCount returns how many dynamic requests were granted.
@@ -299,6 +304,7 @@ func (s *Scheduler) takeResult() *IterationResult {
 	if n := len(s.resPool); n > 0 {
 		res := s.resPool[n-1]
 		s.resPool = s.resPool[:n-1]
+		res.clearOnTake()
 		return res
 	}
 	return &IterationResult{}
@@ -309,10 +315,13 @@ func (s *Scheduler) takeResult() *IterationResult {
 // reused by a later Iterate; callers must not touch them afterwards.
 // Recycling is optional — results that escape to long-lived observers
 // can simply be dropped to the garbage collector.
+//
+//schedlint:pool-release IterationResult
 func (s *Scheduler) Recycle(res *IterationResult) {
 	if res == nil {
 		return
 	}
+	res.poisonOnRecycle()
 	clear(res.Started)
 	clear(res.Backfilled)
 	clear(res.Reservations)
@@ -412,6 +421,12 @@ func (s *Scheduler) ensureTable(now sim.Time, rm ResourceManager) {
 // the resource manager, and returns what it decided. This is
 // Algorithm 2 of the paper; with an empty dynamic-request queue it is
 // exactly Algorithm 1.
+//
+// The returned result is pooled: the caller owns it until it calls
+// Recycle, after which the result and every slice it owns are reused
+// by a later iteration.
+//
+//schedlint:pool IterationResult
 func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
 	s.iterations.Add(1)
 
@@ -528,7 +543,15 @@ func (s *Scheduler) Iterate(now sim.Time, rm ResourceManager) *IterationResult {
 	// Malleable growth: leftover idle cores go to running malleable
 	// jobs, never into reservation windows.
 	s.growMalleable(now, rm, final, res)
-	s.noteIteration(rm, now, deferred)
+
+	// A strict-priority pass that started anything is not necessarily a
+	// fixed point: startNowBlocked was computed before the loop, so the
+	// tick that starts the last queued Z job still suppresses every
+	// normal job behind it even though nothing suppresses them anymore.
+	// Treat the iteration as unsettled so the next tick replans instead
+	// of skipping on the post-iteration epoch.
+	unsettled := startNowBlocked && len(res.Started)+len(res.Backfilled) > 0
+	s.noteIteration(rm, now, deferred || unsettled)
 	return res
 }
 

@@ -156,21 +156,47 @@ func (d *Daemon) commit(c proto.SchedCommit) (*proto.SchedCommitResp, error) {
 }
 
 // mirror implements core.ResourceManager over a snapshot: decisions
-// mutate only the local mirror and are recorded as commit actions.
+// mutate only the local mirror and are recorded as commit actions. It
+// also implements core.ChangeTracker — epochs are seeded from the
+// pulled snapshot serial and advance with the mirror's own mutations —
+// so the scheduler's epoch machinery sees an honest tracker. The skip
+// and order caches stay naturally cold across cycles (every RunOnce
+// builds a fresh mirror, and both caches key on RM identity), which is
+// exactly right: a new pull is by definition a new world.
 type mirror struct {
 	cl      *cluster.Cluster
-	queued  []*job.Job
-	active  []*job.Job
-	dyn     []*job.DynRequest
+	queued  []*job.Job        //schedlint:epoch-guarded by bumpQueue
+	active  []*job.Job        //schedlint:epoch-guarded by bump
+	dyn     []*job.DynRequest //schedlint:epoch-guarded by bump
+	serial  uint64
+	qserial uint64
 	actions []proto.SchedAction
 }
+
+// bump advances the state epoch.
+func (m *mirror) bump() { m.serial++ }
+
+// bumpQueue advances both epochs: a queue-membership change also
+// invalidates state-level caches.
+//
+//schedlint:epoch-bump subsumes bump
+func (m *mirror) bumpQueue() {
+	m.serial++
+	m.qserial++
+}
+
+// StateEpoch implements core.ChangeTracker.
+func (m *mirror) StateEpoch() uint64 { return m.serial }
+
+// QueueEpoch implements core.ChangeTracker.
+func (m *mirror) QueueEpoch() uint64 { return m.qserial }
 
 // mirrorFillID marks the synthetic allocations that reproduce the
 // snapshot's per-node usage in the mirror cluster.
 const mirrorFillID = job.ID(1 << 30)
 
 func newMirror(st *proto.SchedState) (*mirror, error) {
-	m := &mirror{cl: cluster.New(0, 0)}
+	m := &mirror{cl: cluster.New(0, 0), serial: st.Serial, qserial: st.Serial}
 	for i, n := range st.Nodes {
 		node := m.cl.AddNode(n.Name, n.Cores)
 		if n.State != "up" {
@@ -257,6 +283,7 @@ func (m *mirror) StartJob(j *job.Job) (cluster.Alloc, error) {
 	}
 	j.State = job.Running
 	m.active = append(m.active, j)
+	m.bumpQueue()
 	m.actions = append(m.actions, proto.SchedAction{Kind: "start", JobID: int(j.ID)})
 	return alloc, nil
 }
@@ -274,6 +301,7 @@ func (m *mirror) GrantDyn(r *job.DynRequest) (cluster.Alloc, error) {
 	r.Job.DynCores += r.TotalCores()
 	r.Job.State = job.Running
 	m.removeDyn(r)
+	m.bump()
 	m.actions = append(m.actions, proto.SchedAction{Kind: "grant", JobID: int(r.Job.ID)})
 	return alloc, nil
 }
@@ -281,6 +309,7 @@ func (m *mirror) GrantDyn(r *job.DynRequest) (cluster.Alloc, error) {
 func (m *mirror) RejectDyn(r *job.DynRequest, reason string) {
 	r.Job.State = job.Running
 	m.removeDyn(r)
+	m.bump()
 	m.actions = append(m.actions, proto.SchedAction{Kind: "reject", JobID: int(r.Job.ID), Reason: reason})
 }
 

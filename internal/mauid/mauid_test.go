@@ -186,3 +186,39 @@ func TestParseState(t *testing.T) {
 		t.Error("unknown state must error")
 	}
 }
+
+// TestMirrorEpochs: the mirror is an honest core.ChangeTracker —
+// epochs seed from the pulled snapshot serial, queue-membership
+// changes advance both epochs, dyn-only changes advance the state
+// epoch alone.
+func TestMirrorEpochs(t *testing.T) {
+	leak.Check(t)
+	var _ core.ChangeTracker = (*mirror)(nil)
+	st := &proto.SchedState{
+		NowMS:  1000,
+		Serial: 7,
+		Nodes:  []proto.NodeStatus{{Name: "n0", Cores: 8, State: "up"}},
+		Queued: []proto.SchedJob{{ID: 1, User: "u", State: "queued", Cores: 4, WallSecs: 60}},
+		Active: []proto.SchedJob{{ID: 2, User: "v", State: "running", Cores: 2, WallSecs: 120, Evolving: true}},
+		Dyn:    []proto.SchedDynReq{{JobID: 2, Cores: 1, Seq: 0}},
+	}
+	m, err := newMirror(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StateEpoch() != 7 || m.QueueEpoch() != 7 {
+		t.Fatalf("epochs = %d/%d, want seeded from serial 7", m.StateEpoch(), m.QueueEpoch())
+	}
+	if _, err := m.StartJob(m.QueuedJobs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if m.StateEpoch() != 8 || m.QueueEpoch() != 8 {
+		t.Errorf("after start: epochs = %d/%d, want 8/8", m.StateEpoch(), m.QueueEpoch())
+	}
+	if _, err := m.GrantDyn(m.DynRequests()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if m.StateEpoch() != 9 || m.QueueEpoch() != 8 {
+		t.Errorf("after grant: epochs = %d/%d, want 9/8 (dyn is state-class)", m.StateEpoch(), m.QueueEpoch())
+	}
+}

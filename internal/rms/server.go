@@ -47,9 +47,9 @@ type Server struct {
 	sched *core.Scheduler
 	rec   *metrics.Recorder
 
-	queued []*job.Job
-	active map[job.ID]*job.Job
-	dyn    []*job.DynRequest
+	queued []*job.Job          //schedlint:epoch-guarded by bumpQueue
+	active map[job.ID]*job.Job //schedlint:epoch-guarded by bump
+	dyn    []*job.DynRequest   //schedlint:epoch-guarded by bump
 	dynSeq int
 
 	apps      map[job.ID]App
@@ -97,6 +97,8 @@ type Server struct {
 func (s *Server) bump() { s.epoch++ }
 
 // bumpQueue advances both epochs after a queue-membership change.
+//
+//schedlint:epoch-bump subsumes bump
 func (s *Server) bumpQueue() { s.epoch++; s.qepoch++ }
 
 // StateEpoch implements core.ChangeTracker.
@@ -501,7 +503,6 @@ func (s *Server) CancelJob(j *job.Job) {
 		}
 		s.bumpQueue()
 	case j.Active():
-		s.bump()
 		s.dropDynRequest(j.ID)
 		s.cl.Release(j.ID)
 		delete(s.active, j.ID)
@@ -512,6 +513,10 @@ func (s *Server) CancelJob(j *job.Job) {
 		s.cancelAppEvents(j.ID)
 		s.sched.Fairshare().Record(j.Cred.User, float64(j.TotalCores())*sim.SecondsOf(now-j.StartTime))
 		s.observeUsage()
+		// The bump must follow the mutations: bumping first would let a
+		// scheduler cache validated against the new epoch serve the
+		// pre-cancellation active set.
+		s.bump()
 	default:
 		return
 	}

@@ -17,6 +17,20 @@ type serverRM Server
 
 func (r *serverRM) s() *Server { return (*Server)(r) }
 
+// StateEpoch implements core.ChangeTracker: it advances on every
+// scheduler-visible mutation, letting canSkip elide whole iterations
+// while the daemon is idle between kicks.
+//
+//lint:locked serverRM methods run with s.mu held (schedLoop, applyCommit, dynGet)
+func (r *serverRM) StateEpoch() uint64 { return r.serial }
+
+// QueueEpoch implements the queue half of core.ChangeTracker: it
+// advances only on queue-membership changes, keying the scheduler's
+// sorted-order cache.
+//
+//lint:locked serverRM methods run with s.mu held (schedLoop, applyCommit, dynGet)
+func (r *serverRM) QueueEpoch() uint64 { return r.qserial }
+
 // Cluster returns the live cluster mirror.
 //
 //lint:locked serverRM methods run with s.mu held (schedLoop, applyCommit, dynGet)
@@ -104,7 +118,7 @@ func (r *serverRM) StartJob(j *job.Job) (cluster.Alloc, error) {
 	ji.hosts = hosts
 	ji.msNode = hosts[0].Node
 	s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
-	s.bumpLocked()
+	s.bumpQueueLocked()
 	// Walltime enforcement.
 	wall := sim.ToReal(j.Walltime)
 	id := int(j.ID)
@@ -118,12 +132,17 @@ func (r *serverRM) StartJob(j *job.Job) (cluster.Alloc, error) {
 		s.Kick()
 	})
 	if err := ms.conn.Send(proto.TRunJob, proto.RunJobReq{JobID: id, Spec: ji.spec, Hosts: hosts}); err != nil {
-		// Mom link failed mid-dispatch: roll back.
+		// Mom link failed mid-dispatch: roll back. The rollback is a
+		// second round of mutations after the dispatch bump, so it
+		// needs its own — without it a scheduler cache validated
+		// against the dispatch epoch would keep serving the job as
+		// started when it is in fact back in the queue.
 		ji.killTimer.Stop()
 		s.cl.Release(j.ID)
 		delete(s.active, id)
 		j.State = job.Queued
 		s.queued = append(s.queued, j)
+		s.bumpQueueLocked()
 		return nil, fmt.Errorf("serverd: dispatch to %s: %w", hosts[0].Node, err)
 	}
 	s.logf("job %d started on %s (ms=%s)", id, cluster.Alloc(alloc).String(), ji.msNode)
@@ -207,7 +226,7 @@ func (r *serverRM) Preempt(j *job.Job) error {
 	ji.msNode = ""
 	s.queued = append(s.queued, j)
 	s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
-	s.bumpLocked()
+	s.bumpQueueLocked()
 	s.logf("job %d preempted and requeued", j.ID)
 	return nil
 }

@@ -98,12 +98,13 @@ type Server struct {
 	nodes    map[string]*nodeInfo // by node name; guarded by mu
 	nodeByID map[int]*nodeInfo    // guarded by mu
 	jobs     map[int]*jobInfo     // guarded by mu
-	queued   []*job.Job           // guarded by mu
-	active   map[int]*job.Job     // guarded by mu
-	dyn      []*job.DynRequest    // guarded by mu
+	queued   []*job.Job           // guarded by mu //schedlint:epoch-guarded by bumpQueueLocked
+	active   map[int]*job.Job     // guarded by mu //schedlint:epoch-guarded by bumpLocked
+	dyn      []*job.DynRequest    // guarded by mu //schedlint:epoch-guarded by bumpLocked
 	dynSeq   int                  // guarded by mu
 	nextID   int                  // guarded by mu
 	serial   uint64               // guarded by mu
+	qserial  uint64               // guarded by mu
 	rec      *metrics.Recorder    // guarded by mu
 
 	kick   chan struct{}
@@ -211,8 +212,19 @@ func (s *Server) Kick() {
 	}
 }
 
-// bumpLocked advances the snapshot serial. Caller holds s.mu.
+// bumpLocked advances the state epoch (the snapshot serial). Caller
+// holds s.mu.
 func (s *Server) bumpLocked() { s.serial++ }
+
+// bumpQueueLocked advances both epochs: a queue-membership change also
+// invalidates state-level caches, never the other way round. Caller
+// holds s.mu.
+//
+//schedlint:epoch-bump subsumes bumpLocked
+func (s *Server) bumpQueueLocked() {
+	s.serial++
+	s.qserial++
+}
 
 // reply delivers a best-effort response on a transient client
 // connection and closes it; a qsub/qstat client vanishing mid-reply
@@ -478,7 +490,7 @@ func (s *Server) QSub(spec proto.JobSpec) (int, error) {
 	s.jobs[id] = &jobInfo{j: j, spec: spec}
 	s.queued = append(s.queued, j)
 	s.rec.ObserveSubmit(j.SubmitTime)
-	s.bumpLocked()
+	s.bumpQueueLocked()
 	s.mu.Unlock()
 	s.logf("qsub job=%d user=%s cores=%d wall=%ds", id, spec.User, cores, spec.WallSecs)
 	s.Kick()
@@ -540,6 +552,7 @@ func (s *Server) killLocked(ji *jobInfo, why string) {
 				break
 			}
 		}
+		s.bumpQueueLocked()
 	case j.Active():
 		s.dropDynLocked(int(j.ID))
 		s.cl.Release(j.ID)
