@@ -18,16 +18,23 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/mauid"
+	"repro/internal/proto"
 )
 
 func main() {
 	var (
-		server   = flag.String("server", "127.0.0.1:15001", "pbs-server address")
-		cfgPath  = flag.String("config", "", "Maui-style config file (Fig. 6 format)")
-		interval = flag.Duration("interval", time.Second, "iteration interval")
+		server    = flag.String("server", "127.0.0.1:15001", "pbs-server address")
+		cfgPath   = flag.String("config", "", "Maui-style config file (Fig. 6 format)")
+		interval  = flag.Duration("interval", time.Second, "iteration interval")
+		protoFlag = flag.String("proto", "auto", "wire protocol: v1 (JSON), v2 (binary) or auto (negotiate v2, fall back to v1)")
 	)
 	flag.Parse()
 
+	mode, err := proto.ParseMode(*protoFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "maui: %v\n", err)
+		os.Exit(1)
+	}
 	sc := config.Default()
 	if *cfgPath != "" {
 		text, err := os.ReadFile(*cfgPath)
@@ -42,6 +49,7 @@ func main() {
 		}
 	}
 	d := mauid.New(*server, core.New(core.Options{Config: sc}, 0), *interval)
+	d.Proto = mode
 	d.Start()
 	fmt.Printf("maui scheduling %s every %v (DFSPolicy %s)\n", *server, *interval, sc.Fairness.Policy)
 

@@ -14,6 +14,7 @@ import (
 	"syscall"
 
 	"repro/internal/mom"
+	"repro/internal/proto"
 )
 
 func main() {
@@ -25,15 +26,22 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 0, "liveness beacon interval on the server link (0 disables; pair with the server's -heartbeat)")
 		reconnect = flag.Bool("reconnect", true, "re-dial and re-register with backoff when the server link drops")
 		handshake = flag.Duration("handshake-timeout", 0, "deadline for an inbound connection's first message (0 disables)")
+		protoFlag = flag.String("proto", "auto", "wire protocol: v1 (JSON), v2 (binary) or auto (negotiate v2, fall back to v1)")
 		verbose   = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
 
+	mode, err := proto.ParseMode(*protoFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbs-mom: %v\n", err)
+		os.Exit(1)
+	}
 	m := mom.New(*name, *cores)
 	m.Verbose = *verbose
 	m.HeartbeatInterval = *heartbeat
 	m.AutoReconnect = *reconnect
 	m.HandshakeTimeout = *handshake
+	m.Proto = mode
 	if err := m.Start(*listen, *server); err != nil {
 		fmt.Fprintf(os.Stderr, "pbs-mom: %v\n", err)
 		os.Exit(1)

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/proto"
 	"repro/internal/rms"
 	"repro/internal/serverd"
 )
@@ -31,16 +32,23 @@ func main() {
 		misses    = flag.Int("heartbeat-misses", 3, "whole heartbeat intervals a mom may stay silent before its node is declared down")
 		failPol   = flag.String("fail-policy", "cancel", "what happens to jobs on a failed node: cancel or requeue")
 		handshake = flag.Duration("handshake-timeout", 0, "deadline for an inbound connection's first message (0 disables)")
+		protoFlag = flag.String("proto", "auto", "wire protocol for peers: v1 (JSON), v2 (binary) or auto (negotiate v2, serve v1)")
 		verbose   = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
 
+	mode, err := proto.ParseMode(*protoFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbs-server: %v\n", err)
+		os.Exit(1)
+	}
 	opts := serverd.Options{
 		PollInterval:      *poll,
 		Verbose:           *verbose,
 		HeartbeatInterval: *heartbeat,
 		HeartbeatMisses:   *misses,
 		HandshakeTimeout:  *handshake,
+		ProtoMode:         mode,
 	}
 	switch *failPol {
 	case "cancel":

@@ -28,6 +28,11 @@ type Daemon struct {
 	interval time.Duration
 	closed   chan struct{}
 	done     chan struct{}
+
+	// Proto selects the wire codec for server connections (see
+	// proto.Mode); the zero value negotiates automatically. Set before
+	// Start.
+	Proto proto.Mode
 }
 
 // New creates a daemon that schedules the server at srvAddr every
@@ -119,7 +124,7 @@ func (d *Daemon) RunOnce() (applied, skipped int, err error) {
 }
 
 func (d *Daemon) pull() (*proto.SchedState, error) {
-	c, err := proto.Dial(d.srvAddr)
+	c, err := proto.DialMode(d.srvAddr, d.Proto)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +144,7 @@ func (d *Daemon) pull() (*proto.SchedState, error) {
 }
 
 func (d *Daemon) commit(c proto.SchedCommit) (*proto.SchedCommitResp, error) {
-	conn, err := proto.Dial(d.srvAddr)
+	conn, err := proto.DialMode(d.srvAddr, d.Proto)
 	if err != nil {
 		return nil, err
 	}

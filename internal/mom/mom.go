@@ -95,6 +95,11 @@ type Mom struct {
 	// HandshakeTimeout bounds how long an inbound TM/join connection
 	// may take to deliver its first message. Zero disables it.
 	HandshakeTimeout time.Duration
+	// Proto selects the wire codec (see proto.Mode): auto (the zero
+	// value) negotiates binary v2 with new peers and falls back to v1
+	// JSON against old ones, on both the server link and inbound
+	// TM/mom connections.
+	Proto proto.Mode
 
 	ln      net.Listener
 	srvAddr string
@@ -157,7 +162,7 @@ func (m *Mom) Start(listenAddr, srvAddr string) error {
 // dialRegister opens a fresh server link and re-registers, reporting
 // the jobs this mom still knows about so the server can reconcile.
 func (m *Mom) dialRegister() (*proto.Conn, error) {
-	srv, err := proto.Dial(m.srvAddr)
+	srv, err := proto.DialModeTimeout(m.srvAddr, m.Proto, m.HandshakeTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("dial server: %w", err)
 	}
@@ -336,6 +341,10 @@ func (m *Mom) serveLoop() {
 // or a sibling mom's join).
 func (m *Mom) handleConn(c *proto.Conn) {
 	c.SetReadTimeout(m.HandshakeTimeout)
+	if err := c.AcceptHandshake(m.Proto); err != nil {
+		_ = c.Close()
+		return
+	}
 	env, err := c.Recv()
 	if err != nil {
 		_ = c.Close()
@@ -525,7 +534,7 @@ func subtractHosts(have, remove []proto.HostSlice) []proto.HostSlice {
 
 // notifyMom performs one fire-and-confirm exchange with a sibling mom.
 func (m *Mom) notifyMom(addr string, t proto.MsgType, payload any) {
-	c, err := proto.Dial(addr)
+	c, err := proto.DialMode(addr, m.Proto)
 	if err != nil {
 		m.logf("notify %s %s: %v", addr, t, err)
 		return
@@ -638,15 +647,18 @@ func (m *Mom) heartbeatLoop() {
 	//lint:wallclock heartbeats are a real-time liveness protocol
 	t := time.NewTicker(m.HeartbeatInterval)
 	defer t.Stop()
-	var seq int64
+	// One request reused across beats: with the v2 codec the whole
+	// send path is then allocation-free.
+	req := &proto.HeartbeatReq{Node: m.name}
 	for {
 		select {
 		case <-m.closed:
 			return
 		case <-t.C:
 		}
-		seq++
-		m.tellServer(proto.THeartbeat, proto.HeartbeatReq{Node: m.name, Seq: seq})
+		req.Seq++
+		req.SentMS = time.Now().UnixMilli() //lint:wallclock heartbeat latency instrumentation carries the sender wall clock
+		m.tellServer(proto.THeartbeat, req)
 	}
 }
 
@@ -669,7 +681,7 @@ func (m *Mom) runJob(req proto.RunJobReq) {
 		m.notifyMom(h.Addr, proto.TJoin, proto.JoinReq{JobID: req.JobID, Hosts: req.Hosts})
 	}
 
-	tmc := &tm.Context{JobID: req.JobID, MomAddr: m.Addr()}
+	tmc := &tm.Context{JobID: req.JobID, MomAddr: m.Addr(), Proto: m.Proto}
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
@@ -720,6 +732,7 @@ func (m *Mom) launch(ctx context.Context, script string, tmc *tm.Context) error 
 		cmd.Env = append(os.Environ(),
 			fmt.Sprintf("%s=%d", tm.EnvJobID, tmc.JobID),
 			fmt.Sprintf("%s=%s", tm.EnvMomAddr, tmc.MomAddr),
+			fmt.Sprintf("%s=%s", tm.EnvProto, tmc.Proto),
 		)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr

@@ -54,13 +54,13 @@ type Proxy struct {
 	wg sync.WaitGroup
 
 	mu        sync.Mutex
-	rng       *rand.Rand        // guarded by mu: fault schedule source
-	links     map[int]*link     // guarded by mu: live connections by id
-	nextLink  int               // guarded by mu
-	refuse    int               // guarded by mu: connections left to refuse
-	blackhole bool              // guarded by mu
-	stats     Stats             // guarded by mu
-	closed    bool              // guarded by mu
+	rng       *rand.Rand    // guarded by mu: fault schedule source
+	links     map[int]*link // guarded by mu: live connections by id
+	nextLink  int           // guarded by mu
+	refuse    int           // guarded by mu: connections left to refuse
+	blackhole bool          // guarded by mu
+	stats     Stats         // guarded by mu
+	closed    bool          // guarded by mu
 }
 
 // link is one proxied connection pair (the downstream side only for

@@ -2,7 +2,9 @@ package proto_test
 
 import (
 	"encoding/json"
+	"io"
 	"net"
+	"reflect"
 	"testing"
 
 	"repro/internal/proto"
@@ -65,11 +67,14 @@ func jsonRoundTrip(t *testing.T, s string) string {
 // JSON must all produce a clean error — never a panic, a hang, or a
 // giant allocation driven by the declared frame length.
 func FuzzConnMalformedFrame(f *testing.F) {
-	f.Add([]byte{0x00, 0x00})                               // truncated length prefix
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})              // declared length over maxFrame
-	f.Add(append([]byte{0x00, 0x00, 0x00, 0x03}, "xyz"...)) // invalid JSON payload
-	f.Add([]byte{0x00, 0x00, 0x00, 0x10, '{', '"'})         // declared length beyond the data
-	f.Add([]byte{0x00, 0x00, 0x00, 0x02, '{', '}'})         // minimal valid envelope
+	f.Add([]byte{0x00, 0x00})                                         // truncated length prefix
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})                        // declared length over maxFrame
+	f.Add(append([]byte{0x00, 0x00, 0x00, 0x03}, "xyz"...))           // invalid JSON payload
+	f.Add([]byte{0x00, 0x00, 0x00, 0x10, '{', '"'})                   // declared length beyond the data
+	f.Add([]byte{0x00, 0x00, 0x00, 0x02, '{', '}'})                   // minimal valid envelope
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})                             // zero-length frame
+	f.Add(append([]byte{0x00, 0x00, 0x00, 0x0d}, `{"type":"ok"}`...)) // payload-less envelope
+	f.Add([]byte{0xF2, 'P', 'B', 0x02})                               // v2 magic fed to a v1 reader
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		peer, ours := net.Pipe()
 		go func() {
@@ -83,4 +88,113 @@ func FuzzConnMalformedFrame(f *testing.F) {
 			t.Fatal("Recv returned neither an envelope nor an error")
 		}
 	})
+}
+
+// FuzzV2MalformedFrame is the v2 counterpart: after a real handshake,
+// raw attacker bytes — zero-length frames, truncated tag tables,
+// overlong length varints, bogus payload kinds — must produce a clean
+// Recv error, never a panic, a hang, or a length-driven allocation.
+func FuzzV2MalformedFrame(f *testing.F) {
+	f.Add([]byte{})                                   // immediate EOF
+	f.Add([]byte{0x00})                               // zero-length frame
+	f.Add([]byte{0x01, 0x0a})                         // tag with no payload kind
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})       // unterminated length varint
+	f.Add([]byte{0x81, 0x80, 0x80, 0x09})             // declared length over maxFrame
+	f.Add([]byte{0x04, 0x00, 0x0a, 'a', 'b'})         // truncated literal tag table entry
+	f.Add([]byte{0x02, 26, 0x00})                     // unknown tag id
+	f.Add([]byte{0x03, 0x0a, 0x02, 0x01})             // short binary payload
+	f.Add([]byte{0x05, 0x07, 0x02, 0x02, 0x0e, 0x00}) // valid binary jobdone
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		peer, ours := net.Pipe()
+		go func() {
+			hello := []byte{0xF2, 'P', 'B', 0x02}
+			if _, err := peer.Write(hello); err != nil {
+				return
+			}
+			var reply [4]byte
+			if _, err := io.ReadFull(peer, reply[:]); err != nil {
+				return
+			}
+			_, _ = peer.Write(frame)
+			_ = peer.Close()
+		}()
+		c := proto.NewConn(ours)
+		defer c.Close()
+		if err := c.AcceptHandshake(proto.ModeAuto); err != nil {
+			t.Fatalf("handshake: %v", err)
+		}
+		if c.Version() != 2 {
+			t.Fatalf("negotiated %d, want 2", c.Version())
+		}
+		env, err := c.Recv()
+		if err == nil && env == nil {
+			t.Fatal("Recv returned neither an envelope nor an error")
+		}
+	})
+}
+
+// FuzzCodecDifferential proves the tentpole's equivalence claim: every
+// hot payload struct must decode to the identical value whether it
+// travelled through the v1 JSON framing or the v2 binary framing —
+// including invalid-UTF-8 coercion, negative and 64-bit ints, and
+// empty-slice/omitempty parity.
+func FuzzCodecDifferential(f *testing.F) {
+	f.Add("mom-001", int64(7), int64(1723), 42, "", 8, 2, 4, int64(30), true, "busy", "127.0.0.1:15002", 16, uint8(2), uint8(3))
+	f.Add("\xff\xfe", int64(-1), int64(0), -9, "exit 1 \xed\xa0\x80", 0, 0, 0, int64(0), false, "", "", -1, uint8(0), uint8(0))
+	f.Add("n", int64(1)<<62, int64(-5), 1<<40, "é", -3, 1, 1, int64(-60), true, "r \x00 s", "addr", 0, uint8(9), uint8(1))
+	f.Fuzz(func(t *testing.T, node string, seq, sent int64, jobID int, errStr string,
+		cores, nnodes, ppn int, timeoutSecs int64, granted bool, reason, addr string,
+		hCores int, nHosts, nJobs uint8) {
+		hosts := make([]proto.HostSlice, int(nHosts)%4)
+		for i := range hosts {
+			hosts[i] = proto.HostSlice{Node: node, Addr: addr, Cores: hCores + i}
+		}
+		jobs := make([]int, int(nJobs)%5)
+		for i := range jobs {
+			jobs[i] = jobID + i
+		}
+		payloads := []struct {
+			typ proto.MsgType
+			val any
+		}{
+			{proto.THeartbeat, &proto.HeartbeatReq{Node: node, Seq: seq, SentMS: sent}},
+			{proto.TJobDone, &proto.JobDoneReq{JobID: jobID, Error: errStr}},
+			{proto.TDynGet, &proto.DynGetReq{JobID: jobID, Cores: cores, Nodes: nnodes, PPN: ppn, TimeoutSecs: timeoutSecs}},
+			{proto.TDynGetResp, &proto.DynGetResp{JobID: jobID, Granted: granted, Reason: reason, Hosts: hosts}},
+			{proto.TRegister, &proto.RegisterReq{Node: node, Addr: addr, Cores: cores, Jobs: jobs}},
+		}
+		for _, p := range payloads {
+			v1 := tripOnce(t, proto.ModeV1, p.typ, p.val)
+			v2 := tripOnce(t, proto.ModeV2, p.typ, p.val)
+			if !reflect.DeepEqual(v1, v2) {
+				t.Fatalf("differential mismatch for %s:\n v1: %#v\n v2: %#v", p.typ, v1, v2)
+			}
+		}
+	})
+}
+
+// tripOnce round-trips payload through a fresh pair at the given mode
+// and returns the decoded struct (same concrete type as payload).
+func tripOnce(t *testing.T, m proto.Mode, typ proto.MsgType, payload any) any {
+	t.Helper()
+	ca, cb := handshakePair(t, m)
+	defer ca.Close()
+	defer cb.Close()
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- ca.Send(typ, payload) }()
+	env, err := cb.Recv()
+	if serr := <-sendErr; serr != nil {
+		t.Fatalf("%s send %s: %v", m, typ, serr)
+	}
+	if err != nil {
+		t.Fatalf("%s recv %s: %v", m, typ, err)
+	}
+	if env.Type != typ {
+		t.Fatalf("%s type = %q, want %q", m, env.Type, typ)
+	}
+	dst := reflect.New(reflect.TypeOf(payload).Elem()).Interface()
+	if err := env.Decode(dst); err != nil {
+		t.Fatalf("%s decode %s: %v", m, typ, err)
+	}
+	return dst
 }

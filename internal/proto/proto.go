@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -77,30 +78,48 @@ const (
 type Envelope struct {
 	Type    MsgType         `json:"type"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+
+	// bin holds a v2 binary payload (codec id + varint fields) for the
+	// hot message types; nil when the payload travelled as JSON.
+	bin []byte
 }
 
 // maxFrame bounds a frame to keep a corrupted peer from triggering a
 // huge allocation.
 const maxFrame = 16 << 20
 
-// Conn is a framed JSON connection, safe for one reader and one writer
+// Conn is a framed connection, safe for one reader and one writer
 // goroutine concurrently (writes are additionally serialized so
-// multiple goroutines may send).
+// multiple goroutines may send, and Request pairs its send with its
+// reply so multiple goroutines may issue requests). A Conn speaks the
+// v1 JSON framing until a handshake (ClientHandshake/AcceptHandshake)
+// negotiates the v2 binary framing; Version reports the result.
 type Conn struct {
 	c  net.Conn
-	wm sync.Mutex
-	rm sync.Mutex
+	wm sync.Mutex // serializes frame writes
+	rm sync.Mutex // serializes frame reads
+	qm sync.Mutex // serializes Request send→recv pairs
 
-	readT      time.Duration // guarded by rm: per-Recv deadline, 0 = none
-	readArmed  bool          // guarded by rm: a deadline is set on the socket
-	writeT     time.Duration // guarded by wm: per-Send deadline, 0 = none
-	writeArmed bool          // guarded by wm
+	ver  atomic.Uint32 // negotiated wire version: 0/1 = v1 JSON, 2 = binary
+	peek int32         // guarded by rm: first byte sniffed by AcceptHandshake, -1 = none
+
+	// Deadline state is atomic so SetReadTimeout can unstick a reader
+	// already blocked inside Recv (net.Conn deadlines are safe to set
+	// concurrently with a blocked Read) instead of queueing on rm
+	// behind it.
+	readT      atomic.Int64 // per-Recv deadline in ns, 0 = none
+	readArmed  atomic.Bool  // the socket currently carries a read deadline
+	writeT     atomic.Int64 // per-Send deadline in ns, 0 = none
+	writeArmed atomic.Bool  // the socket currently carries a write deadline
+
+	scratch [16]byte // guarded by rm: header scratch, avoids per-Recv escapes
 }
 
 // NewConn wraps a net.Conn.
-func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+func NewConn(c net.Conn) *Conn { return &Conn{c: c, peek: -1} }
 
-// Dial connects to addr and wraps the connection.
+// Dial connects to addr and wraps the connection speaking v1. Use
+// DialMode to negotiate the v2 codec.
 func Dial(addr string) (*Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -112,41 +131,70 @@ func Dial(addr string) (*Conn, error) {
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.c.Close() }
 
+// Version reports the negotiated wire version (1 or 2). Connections
+// that never ran a handshake are v1.
+func (c *Conn) Version() int {
+	if c.ver.Load() == V2 {
+		return V2
+	}
+	return V1
+}
+
 // SetReadTimeout arms a deadline for every subsequent Recv: a peer
 // that dribbles bytes (or goes silent mid-frame) errors the read out
 // instead of pinning the calling goroutine forever. Zero disables the
-// deadline again. Safe to call concurrently with Recv.
+// deadline again. Safe to call concurrently with Recv; arming a
+// timeout also applies it to the socket immediately, so it unsticks a
+// reader that is already blocked.
 func (c *Conn) SetReadTimeout(d time.Duration) {
-	c.rm.Lock()
-	c.readT = d
-	c.rm.Unlock()
+	c.readT.Store(int64(d))
+	if d > 0 {
+		//lint:wallclock socket deadlines are genuine wall-clock protocol timeouts
+		if c.c.SetReadDeadline(time.Now().Add(d)) == nil {
+			c.readArmed.Store(true)
+		}
+	}
+	// d == 0: the deadline (if any) is cleared by the next Recv, which
+	// sees readT == 0 with readArmed still set. Clearing here instead
+	// could race a concurrent Recv arming its own deadline.
 }
 
 // SetWriteTimeout arms a deadline for every subsequent Send, bounding
 // how long a full peer socket buffer can block a writer. Zero disables
-// it. Safe to call concurrently with Send.
+// it. Safe to call concurrently with Send; like SetReadTimeout it
+// applies the deadline immediately, unsticking a blocked writer.
 func (c *Conn) SetWriteTimeout(d time.Duration) {
-	c.wm.Lock()
-	c.writeT = d
-	c.wm.Unlock()
+	c.writeT.Store(int64(d))
+	if d > 0 {
+		//lint:wallclock socket deadlines are genuine wall-clock protocol timeouts
+		if c.c.SetWriteDeadline(time.Now().Add(d)) == nil {
+			c.writeArmed.Store(true)
+		}
+	}
 }
 
 // armDeadline applies one Recv/Send deadline, or clears a previously
-// armed one when d has been reset to zero. It returns the new armed
-// state; when no deadline is in play it is a no-op, keeping the
-// default path free of per-message syscalls.
+// armed one when the timeout has been reset to zero. Unlike the seed
+// version it propagates SetDeadline failures — flipping the armed
+// state on a failed syscall either leaves a stale deadline poisoning
+// every later call (failed clear) or records a deadline that never hit
+// the socket (failed arm).
 //
 //lint:wallclock socket deadlines are genuine wall-clock protocol timeouts
-func armDeadline(set func(time.Time) error, d time.Duration, armed bool) bool {
-	switch {
+func armDeadline(set func(time.Time) error, t *atomic.Int64, armed *atomic.Bool) error {
+	switch d := time.Duration(t.Load()); {
 	case d > 0:
-		_ = set(time.Now().Add(d))
-		return true
-	case armed:
-		_ = set(time.Time{})
-		return false
+		if err := set(time.Now().Add(d)); err != nil {
+			return fmt.Errorf("proto: arm deadline: %w", err)
+		}
+		armed.Store(true)
+	case armed.Load():
+		if err := set(time.Time{}); err != nil {
+			return fmt.Errorf("proto: clear deadline: %w", err)
+		}
+		armed.Store(false)
 	}
-	return false
+	return nil
 }
 
 // RemoteAddr exposes the peer address.
@@ -193,11 +241,15 @@ func writeTag(buf *bytes.Buffer, t MsgType) error {
 	return nil
 }
 
-// Send marshals payload and writes one frame. The envelope is built in
-// a single pass into a pooled buffer — no intermediate payload slice,
-// no re-scan of the payload bytes by an outer envelope marshal — and
-// the length prefix and body go out in one Write.
+// Send marshals payload and writes one frame in the negotiated wire
+// version. The v1 envelope is built in a single pass into a pooled
+// buffer — no intermediate payload slice, no re-scan of the payload
+// bytes by an outer envelope marshal — and the length prefix and body
+// go out in one Write.
 func (c *Conn) Send(t MsgType, payload any) error {
+	if c.ver.Load() == V2 {
+		return c.sendV2(t, payload)
+	}
 	sb := sendPool.Get().(*sendBuf)
 	defer func() {
 		if sb.buf.Cap() <= pooledBufLimit {
@@ -222,7 +274,9 @@ func (c *Conn) Send(t MsgType, payload any) error {
 	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
 	c.wm.Lock()
 	defer c.wm.Unlock()
-	c.writeArmed = armDeadline(c.c.SetWriteDeadline, c.writeT, c.writeArmed)
+	if err := armDeadline(c.c.SetWriteDeadline, &c.writeT, &c.writeArmed); err != nil {
+		return err
+	}
 	_, err := c.c.Write(frame)
 	return err
 }
@@ -239,12 +293,25 @@ var recvPool = sync.Pool{New: func() any {
 func (c *Conn) Recv() (*Envelope, error) {
 	c.rm.Lock()
 	defer c.rm.Unlock()
-	c.readArmed = armDeadline(c.c.SetReadDeadline, c.readT, c.readArmed)
-	var hdr [4]byte
-	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+	if err := armDeadline(c.c.SetReadDeadline, &c.readT, &c.readArmed); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	if c.ver.Load() == V2 {
+		return c.recvV2()
+	}
+	hdr := c.scratch[:4]
+	if b := c.peek; b >= 0 {
+		// AcceptHandshake consumed one byte while sniffing for the v2
+		// magic; it belongs to this first v1 frame.
+		c.peek = -1
+		hdr[0] = byte(b)
+		if _, err := io.ReadFull(c.c, hdr[1:]); err != nil {
+			return nil, err
+		}
+	} else if _, err := io.ReadFull(c.c, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
 	if n > maxFrame {
 		return nil, fmt.Errorf("proto: frame of %d bytes exceeds limit", n)
 	}
@@ -271,8 +338,13 @@ func (c *Conn) Recv() (*Envelope, error) {
 	return &env, nil
 }
 
-// Decode unmarshals an envelope payload into dst.
+// Decode unmarshals an envelope payload into dst. JSON payloads merge
+// into dst (absent fields keep their values); v2 binary payloads
+// assign every field.
 func (e *Envelope) Decode(dst any) error {
+	if len(e.bin) > 0 {
+		return decodeBinary(e.bin, dst)
+	}
 	if len(e.Payload) == 0 {
 		return fmt.Errorf("proto: %s has no payload", e.Type)
 	}
@@ -280,8 +352,14 @@ func (e *Envelope) Decode(dst any) error {
 }
 
 // Request sends one message and waits for a single reply — the
-// client-command pattern (qsub and friends).
+// client-command pattern (qsub and friends). The pairing lock keeps
+// concurrent requesters from receiving each other's replies: wm and rm
+// individually serialize Send and Recv, but without qm goroutine B's
+// send could slip between A's send and A's recv, after which whichever
+// goroutine wins rm gets the first reply.
 func (c *Conn) Request(t MsgType, payload any) (*Envelope, error) {
+	c.qm.Lock()
+	defer c.qm.Unlock()
 	if err := c.Send(t, payload); err != nil {
 		return nil, err
 	}
@@ -371,6 +449,10 @@ type RegisterReq struct {
 type HeartbeatReq struct {
 	Node string `json:"node"`
 	Seq  int64  `json:"seq"`
+	// SentMS is the sender's wall clock in Unix milliseconds when the
+	// beat left the mom (0 = not recorded). The server's soak
+	// instrumentation uses it to measure heartbeat→stamp latency.
+	SentMS int64 `json:"sent_ms,omitempty"`
 }
 
 // RunJobReq starts a job on its mother superior (Hosts[0]).

@@ -1,0 +1,7 @@
+//go:build race
+
+package proto
+
+// raceEnabled lets the allocation-regression guards skip under the
+// race detector, whose instrumentation inflates per-call counts.
+const raceEnabled = true

@@ -1,0 +1,5 @@
+//go:build !race
+
+package serverd
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package serverd
+
+// raceEnabled lets timing- and allocation-sensitive tests detect the
+// race detector, whose instrumentation inflates both.
+const raceEnabled = true

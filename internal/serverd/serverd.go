@@ -57,6 +57,31 @@ type Options struct {
 	// byte-dribbling peer cannot pin an accept goroutine forever.
 	// Zero disables the deadline.
 	HandshakeTimeout time.Duration
+	// ProtoMode selects the wire codec offered to inbound peers (see
+	// proto.Mode): auto (the zero value) negotiates the binary v2
+	// framing with new moms while still serving v1 JSON clients; v1
+	// pins the JSON codec even for peers that propose v2.
+	ProtoMode proto.Mode
+	// MaxHandshakes bounds how many accepted connections may sit in the
+	// pre-classification stage (version handshake + first message) at
+	// once (default 256). A connect flood queues in the kernel accept
+	// backlog instead of spawning an unbounded goroutine per SYN.
+	MaxHandshakes int
+	// IngestWorkers sizes the shared pool that applies mom messages
+	// (job completions, dynamic requests) to server state (default 4).
+	// Per-mom ordering is preserved by sharding on node id, so lock
+	// contention scales with the pool size rather than the mom count.
+	IngestWorkers int
+	// BeaconRingSize is the capacity of the lock-free heartbeat ring
+	// the monitor sweep drains in batch (default 65536, rounded up to
+	// a power of two). A full ring falls back to locked stamping, so
+	// undersizing costs throughput, never liveness.
+	BeaconRingSize int
+	// OnBeacon, when set, is called by the monitor sweep with the
+	// sender-to-stamp latency of every heartbeat carrying a SentMS
+	// wall clock — the soak test's measurement hook. Keep it cheap; it
+	// runs on the monitor goroutine.
+	OnBeacon func(lag time.Duration)
 	// Verbose enables stderr logging.
 	Verbose bool
 }
@@ -78,6 +103,7 @@ type nodeInfo struct {
 	node     *cluster.Node
 	addr     string
 	conn     *proto.Conn
+	shard    int      // ingest worker index; fixed at first registration
 	lastSeen sim.Time // server-virtual time of the last message from this mom
 	// verdicts buffers dyn grant/reject answers that could not be
 	// delivered (link down, send failure); they replay in order on
@@ -93,19 +119,30 @@ type Server struct {
 	ln    net.Listener
 	start time.Time
 
+	// handshakes is the pre-classification semaphore: a slot is held
+	// from accept until the connection's first message is dispatched.
+	handshakes chan struct{}
+	// beacons carries liveness observations from mom read loops to the
+	// monitor sweep without touching s.mu. Nil when monitoring is off.
+	beacons *beaconRing
+	// ingest is the sharded work queue feeding the ingestLoop pool;
+	// moms map to a fixed shard so their messages apply in order.
+	ingest []chan func()
+
 	mu       sync.Mutex
-	cl       *cluster.Cluster     // guarded by mu
-	nodes    map[string]*nodeInfo // by node name; guarded by mu
-	nodeByID map[int]*nodeInfo    // guarded by mu
-	jobs     map[int]*jobInfo     // guarded by mu
-	queued   []*job.Job           // guarded by mu //schedlint:epoch-guarded by bumpQueueLocked
-	active   map[int]*job.Job     // guarded by mu //schedlint:epoch-guarded by bumpLocked
-	dyn      []*job.DynRequest    // guarded by mu //schedlint:epoch-guarded by bumpLocked
-	dynSeq   int                  // guarded by mu
-	nextID   int                  // guarded by mu
-	serial   uint64               // guarded by mu
-	qserial  uint64               // guarded by mu
-	rec      *metrics.Recorder    // guarded by mu
+	cl       *cluster.Cluster         // guarded by mu
+	nodes    map[string]*nodeInfo     // by node name; guarded by mu
+	nodeByID map[int]*nodeInfo        // guarded by mu
+	pending  map[*proto.Conn]struct{} // pre-classification conns; guarded by mu
+	jobs     map[int]*jobInfo         // guarded by mu
+	queued   []*job.Job               // guarded by mu //schedlint:epoch-guarded by bumpQueueLocked
+	active   map[int]*job.Job         // guarded by mu //schedlint:epoch-guarded by bumpLocked
+	dyn      []*job.DynRequest        // guarded by mu //schedlint:epoch-guarded by bumpLocked
+	dynSeq   int                      // guarded by mu
+	nextID   int                      // guarded by mu
+	serial   uint64                   // guarded by mu
+	qserial  uint64                   // guarded by mu
+	rec      *metrics.Recorder        // guarded by mu
 
 	kick   chan struct{}
 	closed chan struct{}
@@ -120,17 +157,28 @@ func New(opts Options) *Server {
 	if opts.HeartbeatMisses <= 0 {
 		opts.HeartbeatMisses = 3
 	}
+	if opts.MaxHandshakes <= 0 {
+		opts.MaxHandshakes = 256
+	}
+	if opts.IngestWorkers <= 0 {
+		opts.IngestWorkers = 4
+	}
+	if opts.BeaconRingSize <= 0 {
+		opts.BeaconRingSize = 1 << 16
+	}
 	return &Server{
-		opts:     opts,
-		cl:       cluster.New(0, 0),
-		nodes:    make(map[string]*nodeInfo),
-		nodeByID: make(map[int]*nodeInfo),
-		jobs:     make(map[int]*jobInfo),
-		active:   make(map[int]*job.Job),
-		nextID:   1,
-		rec:      metrics.NewRecorder(0),
-		kick:     make(chan struct{}, 1),
-		closed:   make(chan struct{}),
+		opts:       opts,
+		cl:         cluster.New(0, 0),
+		nodes:      make(map[string]*nodeInfo),
+		nodeByID:   make(map[int]*nodeInfo),
+		jobs:       make(map[int]*jobInfo),
+		active:     make(map[int]*job.Job),
+		pending:    make(map[*proto.Conn]struct{}),
+		handshakes: make(chan struct{}, opts.MaxHandshakes),
+		nextID:     1,
+		rec:        metrics.NewRecorder(0),
+		kick:       make(chan struct{}, 1),
+		closed:     make(chan struct{}),
 	}
 }
 
@@ -142,15 +190,22 @@ func (s *Server) Start(addr string) error {
 	}
 	s.ln = ln
 	s.start = time.Now() //lint:wallclock anchors the daemon's virtual clock at startup
+	s.ingest = make([]chan func(), s.opts.IngestWorkers)
+	for i := range s.ingest {
+		s.ingest[i] = make(chan func(), 64)
+		s.wg.Add(1)
+		go s.ingestLoop(s.ingest[i])
+	}
+	if s.opts.HeartbeatInterval > 0 {
+		s.beacons = newBeaconRing(s.opts.BeaconRingSize)
+		s.wg.Add(1)
+		go s.monitorLoop()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if s.opts.Sched != nil {
 		s.wg.Add(1)
 		go s.schedLoop()
-	}
-	if s.opts.HeartbeatInterval > 0 {
-		s.wg.Add(1)
-		go s.monitorLoop()
 	}
 	return nil
 }
@@ -179,6 +234,12 @@ func (s *Server) Close() {
 		if n.conn != nil {
 			_ = n.conn.Close()
 		}
+	}
+	// Connections still in the handshake stage (a flood that never
+	// spoke, a peer mid-negotiation) would otherwise keep their read
+	// loops — and wg.Wait — alive past HandshakeTimeout.
+	for c := range s.pending {
+		_ = c.Close()
 	}
 	for _, ji := range s.jobs {
 		if ji.killTimer != nil {
@@ -251,11 +312,20 @@ func (s *Server) sendMomLocked(ni *nodeInfo, t proto.MsgType, payload any) {
 }
 
 // acceptLoop classifies inbound connections by their first message.
+// The handshake semaphore bounds the pre-classification stage: when
+// MaxHandshakes peers are already mid-handshake, further connects wait
+// in the kernel accept backlog instead of each getting a goroutine.
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
 		c, err := s.ln.Accept()
 		if err != nil {
+			return
+		}
+		select {
+		case s.handshakes <- struct{}{}:
+		case <-s.closed:
+			_ = c.Close()
 			return
 		}
 		s.wg.Add(1)
@@ -267,9 +337,27 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) handleConn(c *proto.Conn) {
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			<-s.handshakes
+		}
+	}
+	defer release()
+	if !s.trackConn(c) {
+		_ = c.Close() // raced shutdown
+		return
+	}
+	defer s.untrackConn(c)
 	// A peer that connects and then stalls must not pin this goroutine:
-	// the first message has to arrive within the handshake window.
+	// the version handshake and first message both have to arrive
+	// within the handshake window.
 	c.SetReadTimeout(s.opts.HandshakeTimeout)
+	if err := c.AcceptHandshake(s.opts.ProtoMode); err != nil {
+		_ = c.Close()
+		return
+	}
 	env, err := c.Recv()
 	if err != nil {
 		_ = c.Close()
@@ -283,9 +371,11 @@ func (s *Server) handleConn(c *proto.Conn) {
 			_ = c.Close()
 			return
 		}
-		// The mom link is persistent and heartbeat-monitored; the
-		// per-message read deadline comes off.
+		// The mom link is persistent and heartbeat-monitored: the
+		// per-message read deadline comes off, and the handshake slot
+		// frees up before the long-lived read loop starts.
 		c.SetReadTimeout(0)
+		release()
 		s.registerMom(c, req) // takes ownership, runs the mom read loop
 	case proto.TQSub:
 		var spec proto.JobSpec
@@ -321,6 +411,28 @@ func (s *Server) handleConn(c *proto.Conn) {
 	}
 }
 
+// trackConn records a not-yet-classified connection so Close can tear
+// it down; false means the server is already shutting down. Without
+// this, flood connections that never speak would outlive Close and
+// wedge wg.Wait on their read loops until HandshakeTimeout fired.
+func (s *Server) trackConn(c *proto.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	s.pending[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(c *proto.Conn) {
+	s.mu.Lock()
+	delete(s.pending, c)
+	s.mu.Unlock()
+}
+
 // registerMom adds the node and serves the mom's persistent link.
 func (s *Server) registerMom(c *proto.Conn, req proto.RegisterReq) {
 	s.mu.Lock()
@@ -346,7 +458,7 @@ func (s *Server) registerMom(c *proto.Conn, req proto.RegisterReq) {
 		s.logf("mom %s re-registered at %s (%d jobs reported)", req.Node, req.Addr, len(req.Jobs))
 	} else {
 		n := s.cl.AddNode(req.Node, req.Cores)
-		ni = &nodeInfo{node: n, addr: req.Addr, conn: c, lastSeen: s.now()}
+		ni = &nodeInfo{node: n, addr: req.Addr, conn: c, shard: n.ID % len(s.ingest), lastSeen: s.now()}
 		s.nodes[req.Node] = ni
 		s.nodeByID[n.ID] = ni
 		s.rec = metrics.NewRecorder(s.cl.TotalCores())
@@ -355,6 +467,11 @@ func (s *Server) registerMom(c *proto.Conn, req proto.RegisterReq) {
 		s.logf("mom %s registered: %d cores at %s", req.Node, req.Cores, req.Addr)
 	}
 	s.Kick()
+	// The read loop is a frame pump: it decodes, notes liveness via the
+	// lock-free beacon ring, and hands state mutation to the mom's
+	// ingest shard. The seed took s.mu here for every message — at 10k
+	// moms heartbeating each interval, that serialized every reader
+	// against the scheduler's own lock.
 	for {
 		env, err := c.Recv()
 		if err != nil {
@@ -368,28 +485,83 @@ func (s *Server) registerMom(c *proto.Conn, req proto.RegisterReq) {
 			s.mu.Unlock()
 			return
 		}
-		s.mu.Lock()
-		ni.lastSeen = s.now()
-		s.mu.Unlock()
+		var work func()
+		var sent int64
 		//schedlint:dispatch server.mom
 		switch env.Type {
 		case proto.THeartbeat:
-			// lastSeen above is the whole point; nothing else to do.
+			var hb proto.HeartbeatReq
+			_ = env.Decode(&hb) // a malformed beacon still proves liveness
+			sent = hb.SentMS
 		case proto.TJobDone:
 			var done proto.JobDoneReq
 			if err := env.Decode(&done); err == nil {
-				s.jobDone(ni, done)
+				work = func() { s.jobDone(ni, done) }
 			}
 		case proto.TDynGet:
 			var dg proto.DynGetReq
 			if err := env.Decode(&dg); err == nil {
-				s.dynGet(ni, dg)
+				work = func() { s.dynGet(ni, dg) }
 			}
 		case proto.TDynFree:
 			var df proto.DynFreeReq
 			if err := env.Decode(&df); err == nil {
-				s.dynFree(ni, df)
+				work = func() { s.dynFree(ni, df) }
 			}
+		}
+		s.noteBeacon(ni, sent)
+		if work == nil {
+			continue
+		}
+		select {
+		case s.ingest[ni.shard] <- work:
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// noteBeacon records mom liveness without taking s.mu: the beacon
+// lands in a lock-free ring the monitor sweep drains in batch. Ring
+// overflow (a pathological burst outpacing the sweep) falls back to
+// the locked stamp so liveness evidence is never dropped. No-op when
+// monitoring is disabled.
+func (s *Server) noteBeacon(ni *nodeInfo, sentMS int64) {
+	if s.beacons == nil {
+		return
+	}
+	b := beacon{node: int32(ni.node.ID), sent: sentMS, at: s.now()}
+	if s.beacons.push(b) {
+		return
+	}
+	s.mu.Lock()
+	if b.at > ni.lastSeen {
+		ni.lastSeen = b.at
+	}
+	s.mu.Unlock()
+}
+
+// BeaconDrops reports how many liveness beacons overflowed the ring
+// and took the locked fallback path. A healthy deployment stays at
+// zero; the soak test asserts it.
+func (s *Server) BeaconDrops() uint64 {
+	if s.beacons == nil {
+		return 0
+	}
+	return s.beacons.dropped.Load()
+}
+
+// ingestLoop applies queued mom work. A fixed pool replaces the
+// seed's state mutation inside every per-mom read goroutine, so
+// contention on s.mu is bounded by the pool size, not the mom count.
+func (s *Server) ingestLoop(ch chan func()) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case fn := <-ch:
+			fn()
 		}
 	}
 }
@@ -586,20 +758,34 @@ func (s *Server) dropDynLocked(id int) {
 	}
 }
 
-// monitorLoop is the failure detector: it declares a node down once
-// its mom has been silent for HeartbeatMisses whole intervals, then
-// routes every affected job through the failure policy — the live
-// mirror of the simulator's rms.FailNode.
+// monitorLoop is the failure detector and the heartbeat sink: it
+// drains the beacon ring every quarter interval (batched stamping —
+// one lock acquisition per sweep instead of one per message) and, once
+// per whole interval, declares any node down whose mom has been silent
+// for HeartbeatMisses intervals, routing every affected job through
+// the failure policy — the live mirror of the simulator's rms.FailNode.
 func (s *Server) monitorLoop() {
 	defer s.wg.Done()
-	t := time.NewTicker(s.opts.HeartbeatInterval) //lint:wallclock heartbeat monitoring is a real-time liveness protocol
+	sweep := s.opts.HeartbeatInterval / 4
+	detectEvery := 4
+	if sweep <= 0 {
+		sweep = s.opts.HeartbeatInterval
+		detectEvery = 1
+	}
+	t := time.NewTicker(sweep) //lint:wallclock heartbeat monitoring is a real-time liveness protocol
 	defer t.Stop()
 	window := sim.FromReal(s.opts.HeartbeatInterval) * sim.Duration(s.opts.HeartbeatMisses)
+	ticks := 0
 	for {
 		select {
 		case <-s.closed:
 			return
 		case <-t.C:
+		}
+		s.sweepBeacons()
+		ticks++
+		if ticks%detectEvery != 0 {
+			continue
 		}
 		s.mu.Lock()
 		now := s.now()
@@ -626,6 +812,35 @@ func (s *Server) monitorLoop() {
 		if changed {
 			s.Kick()
 		}
+	}
+}
+
+// sweepBeacons applies the batched liveness observations: every
+// beacon advances its node's lastSeen (monotonically — a ring entry
+// can be older than a locked-fallback stamp), and heartbeats carrying
+// a sender wall clock feed the OnBeacon latency hook.
+func (s *Server) sweepBeacons() {
+	var lags []time.Duration
+	var nowMS int64
+	if s.opts.OnBeacon != nil {
+		nowMS = time.Now().UnixMilli() //lint:wallclock beacon latency compares sender wall clocks carried in heartbeats
+	}
+	s.mu.Lock()
+	s.beacons.drain(func(b beacon) {
+		ni := s.nodeByID[int(b.node)] //lint:locked the drain callback runs synchronously under the s.mu.Lock above
+		if ni == nil {
+			return
+		}
+		if b.at > ni.lastSeen {
+			ni.lastSeen = b.at
+		}
+		if s.opts.OnBeacon != nil && b.sent > 0 {
+			lags = append(lags, time.Duration(nowMS-b.sent)*time.Millisecond)
+		}
+	})
+	s.mu.Unlock()
+	for _, lag := range lags {
+		s.opts.OnBeacon(lag)
 	}
 }
 

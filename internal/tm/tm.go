@@ -21,17 +21,21 @@ import (
 	"repro/internal/proto"
 )
 
-// EnvJobID and EnvMomAddr are the environment variables the mom sets
-// for exec-mode applications.
+// EnvJobID, EnvMomAddr and EnvProto are the environment variables the
+// mom sets for exec-mode applications.
 const (
 	EnvJobID   = "TM_JOB_ID"
 	EnvMomAddr = "TM_MOM_ADDR"
+	EnvProto   = "TM_PROTO"
 )
 
 // Context is an application's handle to its local mom.
 type Context struct {
 	JobID   int
 	MomAddr string
+	// Proto selects the wire codec for the mom connection (see
+	// proto.Mode); the zero value negotiates automatically.
+	Proto proto.Mode
 
 	// Retries is how many extra attempts a TM call makes after a
 	// transport failure that provably never reached the mom (a failed
@@ -56,7 +60,11 @@ func FromEnv() (*Context, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tm: bad %s: %v", EnvJobID, err)
 	}
-	return &Context{JobID: id, MomAddr: addr}, nil
+	mode, err := proto.ParseMode(os.Getenv(EnvProto))
+	if err != nil {
+		return nil, fmt.Errorf("tm: bad %s: %v", EnvProto, err)
+	}
+	return &Context{JobID: id, MomAddr: addr, Proto: mode}, nil
 }
 
 // call performs one TM round trip with the local mom, retrying (up to
@@ -82,7 +90,7 @@ func (c *Context) call(t proto.MsgType, payload any) (*proto.TMResp, error) {
 // callOnce is one attempt; sent reports whether the request reached
 // the wire (and so must not be replayed).
 func (c *Context) callOnce(t proto.MsgType, payload any) (resp *proto.TMResp, sent bool, err error) {
-	conn, err := proto.Dial(c.MomAddr)
+	conn, err := proto.DialMode(c.MomAddr, c.Proto)
 	if err != nil {
 		return nil, false, fmt.Errorf("tm: dial mom: %w", err)
 	}
