@@ -25,16 +25,25 @@
 //	esprun -campaign seeds -seeds 10  # configs × seeds sweep
 //	esprun -campaign fraction         # evolving-fraction sweep 0–100%
 //	esprun -campaign scale            # cluster sizes 15–1024 nodes
+//
+// The fairshare stress campaign drives the hierarchical share tree at
+// issue scale (1M users across 10k queues by default) and can stream
+// the allocation history for offline fairness analysis:
+//
+//	esprun -campaign fairshare -fair-users 1000000 -fair-queues 10000
+//	esprun -campaign fairshare -alloc-history hist.csv -alloc-format csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/campaign"
 	"repro/internal/esp"
 	"repro/internal/experiments"
+	"repro/internal/fairtree"
 	"repro/internal/metrics"
 	"repro/internal/quadflow"
 	"repro/internal/sim"
@@ -59,9 +68,14 @@ func main() {
 		maxN     = flag.Int("fig12-nodes", 10, "largest dynamic allocation for -fig12")
 		samples  = flag.Int("fig12-samples", 3, "samples per Fig. 12 point")
 		parallel = flag.Int("parallel", 1, "campaign workers (0 = GOMAXPROCS); output is identical at any count")
-		camp     = flag.String("campaign", "", "run a sweep campaign: seeds | fraction | scale")
+		camp     = flag.String("campaign", "", "run a sweep campaign: seeds | fraction | scale | fairshare")
 		nSeeds   = flag.Int("seeds", 5, "seed count for -campaign seeds (seed, seed+1, ...)")
 		scaleJob = flag.Bool("scale-jobs", false, "extend -campaign scale with the 50k/100k-job queue-depth points (long runs)")
+		fairU    = flag.Int("fair-users", 1_000_000, "user leaves for -campaign fairshare")
+		fairQ    = flag.Int("fair-queues", 10_000, "queue groups for -campaign fairshare")
+		fairE    = flag.Int("fair-epochs", 3, "decay intervals for -campaign fairshare")
+		histPath = flag.String("alloc-history", "", "stream the fairshare allocation history to this file")
+		histFmt  = flag.String("alloc-format", "csv", "allocation-history format: csv | jsonl")
 	)
 	flag.Parse()
 
@@ -87,7 +101,9 @@ func main() {
 	copts := campaign.Options{Workers: *parallel, OnProgress: progressLine}
 
 	if *camp != "" {
-		runCampaign(*camp, opts, copts, *nSeeds, *scaleJob)
+		ff := fairFlags{users: *fairU, queues: *fairQ, epochs: *fairE,
+			workers: *parallel, histPath: *histPath, histFmt: *histFmt}
+		runCampaign(*camp, opts, copts, *nSeeds, *scaleJob, ff)
 	}
 
 	var results []*experiments.ESPResult
@@ -169,8 +185,14 @@ func progressLine(done, total int) {
 // endProgress terminates the progress line once a campaign finishes.
 func endProgress() { fmt.Fprintln(os.Stderr) }
 
+// fairFlags carries the -campaign fairshare knobs.
+type fairFlags struct {
+	users, queues, epochs, workers int
+	histPath, histFmt              string
+}
+
 // runCampaign executes one of the named sweeps and exits.
-func runCampaign(kind string, opts esp.GenOpts, copts campaign.Options, nSeeds int, scaleJobs bool) {
+func runCampaign(kind string, opts esp.GenOpts, copts campaign.Options, nSeeds int, scaleJobs bool, ff fairFlags) {
 	switch kind {
 	case "seeds":
 		if nSeeds < 1 {
@@ -207,8 +229,50 @@ func runCampaign(kind string, opts esp.GenOpts, copts campaign.Options, nSeeds i
 			fmt.Println("=== Campaign: queue-depth sweep (Dyn-HP, 4096 nodes) ===")
 			fmt.Print(experiments.FormatSweep(deep))
 		}
+	case "fairshare":
+		fopts := experiments.DefaultFairshareOpts()
+		fopts.Users = ff.users
+		fopts.Queues = ff.queues
+		fopts.Epochs = ff.epochs
+		fopts.Workers = ff.workers
+		if fopts.Workers <= 0 {
+			fopts.Workers = runtime.GOMAXPROCS(0)
+		}
+		fopts.OnProgress = progressLine
+		var histFile *os.File
+		if ff.histPath != "" {
+			format, err := fairtree.ParseHistoryFormat(ff.histFmt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			f, err := os.Create(ff.histPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			histFile = f
+			fopts.History = f
+			fopts.HistoryFormat = format
+			fopts.HistoryDepth = 1 // group nodes: 1M leaf rows per epoch would dwarf the signal
+		}
+		fmt.Fprintf(os.Stderr, "fairshare stress: %d users x %d queues, %d epochs, %d workers...\n",
+			fopts.Users, fopts.Queues, fopts.Epochs, fopts.Workers)
+		r, err := experiments.RunFairshare(fopts)
+		endProgress()
+		if histFile != nil {
+			if cerr := histFile.Close(); err == nil && cerr != nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("=== Campaign: hierarchical fairshare at scale ===")
+		fmt.Print(experiments.FormatFairshare(r))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown campaign %q (want seeds, fraction or scale)\n", kind)
+		fmt.Fprintf(os.Stderr, "unknown campaign %q (want seeds, fraction, scale or fairshare)\n", kind)
 		os.Exit(2)
 	}
 	os.Exit(0)

@@ -51,13 +51,17 @@ var decisionFuncs = map[string]bool{
 }
 
 // noMapRangePkgs ban ranging over a map outright, order-sensitive body
-// or not. The campaign worker pool dispatches tasks and merges results
-// strictly by slice index — a map range anywhere in it is the one way
+// or not, each with its package-specific rationale in the finding. The
+// campaign worker pool dispatches tasks and merges results strictly by
+// slice index — a map range anywhere in it is the one way
 // completion-order nondeterminism could leak back into campaign
-// output, so the whole construct is rejected and the finding cannot be
-// suppressed.
-var noMapRangePkgs = map[string]bool{
-	"campaign": true,
+// output. The fairtree fold/factor/history paths promise byte-identical
+// results at any producer count, which holds only because every
+// traversal is over dense NodeID arrays or sorted stamps. In both, the
+// whole construct is rejected and the finding cannot be suppressed.
+var noMapRangePkgs = map[string]string{
+	"campaign": "range over map in the campaign package: dispatch and merge must be slice-indexed so results never depend on completion or map order",
+	"fairtree": "range over map in the fairtree package: folds, factors and history rows must walk dense NodeID arrays or sorted stamps so usage accounting stays byte-identical at any producer count",
 }
 
 func lastElem(path string) string {
@@ -68,9 +72,9 @@ func lastElem(path string) string {
 }
 
 func run(pass *analysis.Pass) error {
-	noRange := noMapRangePkgs[lastElem(pass.Pkg.Path())]
+	noRangeMsg := noMapRangePkgs[lastElem(pass.Pkg.Path())]
 	for _, f := range pass.Files {
-		v := &visitor{pass: pass, noRange: noRange}
+		v := &visitor{pass: pass, noRangeMsg: noRangeMsg}
 		ast.Walk(v, f)
 	}
 	return nil
@@ -79,9 +83,9 @@ func run(pass *analysis.Pass) error {
 // visitor tracks enclosing statement lists so the append check can
 // look for sorts after the range loop.
 type visitor struct {
-	pass    *analysis.Pass
-	blocks  []([]ast.Stmt)
-	noRange bool
+	pass       *analysis.Pass
+	blocks     []([]ast.Stmt)
+	noRangeMsg string // non-empty: package-level map-range ban message
 }
 
 func (v *visitor) Visit(n ast.Node) ast.Visitor {
@@ -97,10 +101,10 @@ func (v *visitor) Visit(n ast.Node) ast.Visitor {
 		return v
 	case *ast.RangeStmt:
 		if v.isMapRange(n) {
-			if v.noRange {
+			if v.noRangeMsg != "" {
 				v.pass.Report(analysis.Diagnostic{
 					Pos:            n.Pos(),
-					Message:        "range over map in the campaign package: dispatch and merge must be slice-indexed so results never depend on completion or map order",
+					Message:        v.noRangeMsg,
 					Unsuppressable: true,
 				})
 			} else {

@@ -14,3 +14,7 @@ func TestMaporder(t *testing.T) {
 func TestMaporderCampaignBan(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), maporder.Analyzer, "campaign")
 }
+
+func TestMaporderFairtreeBan(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), maporder.Analyzer, "fairtree")
+}

@@ -1,0 +1,28 @@
+// Package fairtree exercises the blanket map-range ban: usage folds,
+// factor computation and history emission walk dense NodeID arrays or
+// sorted stamp slices only, so results stay byte-identical at any
+// producer count.
+package fairtree
+
+func foldFromMap(pending map[int32]float64) float64 {
+	total := 0.0
+	for _, amt := range pending { // want `range over map in the fairtree package: folds, factors and history rows must walk dense NodeID arrays or sorted stamps so usage accounting stays byte-identical at any producer count`
+		total += amt
+	}
+	return total
+}
+
+func historyFromMap(usage map[string]float64, emit func(string, float64)) {
+	//lint:maporder the directive must not silence the fairtree ban
+	for node, u := range usage { // want `range over map in the fairtree package: folds, factors and history rows must walk dense NodeID arrays or sorted stamps so usage accounting stays byte-identical at any producer count`
+		emit(node, u)
+	}
+}
+
+func denseWalkIsFine(raw []float64) float64 {
+	total := 0.0
+	for _, v := range raw {
+		total += v
+	}
+	return total
+}

@@ -47,7 +47,7 @@ var strictPkgs = map[string]bool{
 	"esp": true, "quadflow": true, "workload": true, "fairness": true,
 	"rms": true, "job": true, "metrics": true, "trace": true,
 	"config": true, "experiments": true, "backoff": true,
-	"campaign": true, "arena": true,
+	"campaign": true, "arena": true, "fairtree": true,
 	// The analyzers themselves must be deterministic: SARIF output and
 	// golden fixtures are diffed byte-for-byte in CI.
 	"dataflow": true, "epochguard": true, "poollife": true,

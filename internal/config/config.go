@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/fairness"
+	"repro/internal/fairtree"
 	"repro/internal/sim"
 )
 
@@ -40,6 +41,18 @@ type SchedConfig struct {
 	RMPollInterval sim.Duration
 	// Fairness carries the DFS settings.
 	Fairness *fairness.Config
+	// FSInterval is the fairshare usage-decay interval (FSINTERVAL);
+	// <= 0 means the 24h default.
+	FSInterval sim.Duration
+	// FSDecay is the per-interval fairshare decay factor (FSDECAY),
+	// meaningful only when FSDecaySet is true (so a zero-valued
+	// config still gets the historical 0.7 default).
+	FSDecay    float64
+	FSDecaySet bool
+	// FSTree is the hierarchical share tree declared by FSTREE[...]
+	// stanzas; nil means the degenerate flat per-user tree, which is
+	// bit-identical to the legacy flat fairshare.
+	FSTree *fairtree.Spec
 }
 
 // Default returns the configuration used when a parameter is absent,
@@ -53,6 +66,9 @@ func Default() *SchedConfig {
 		PreemptPolicy:         "NONE",
 		RMPollInterval:        30 * sim.Second,
 		Fairness:              fairness.NewConfig(fairness.None),
+		FSInterval:            24 * sim.Hour,
+		FSDecay:               0.7,
+		FSDecaySet:            true,
 	}
 }
 
@@ -109,6 +125,11 @@ func Parse(text string) (*SchedConfig, error) {
 		rest := fields[1:]
 		if err := applyDirective(cfg, key, rest); err != nil {
 			return nil, fmt.Errorf("line %d: %v", lineno+1, err)
+		}
+	}
+	if cfg.FSTree != nil {
+		if err := cfg.FSTree.Validate(); err != nil {
+			return nil, err
 		}
 	}
 	return cfg, nil
@@ -223,6 +244,29 @@ func applyDirective(cfg *SchedConfig, key string, rest []string) error {
 			return err
 		}
 		cfg.RMPollInterval = d
+	case key == "FSINTERVAL":
+		v, err := needValue()
+		if err != nil {
+			return err
+		}
+		d, err := ParseDuration(v)
+		if err != nil {
+			return err
+		}
+		cfg.FSInterval = d
+	case key == "FSDECAY":
+		v, err := needValue()
+		if err != nil {
+			return err
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			return fmt.Errorf("FSDECAY: want a fraction in [0,1], got %q", v)
+		}
+		cfg.FSDecay = f
+		cfg.FSDecaySet = true
+	case strings.HasPrefix(key, "FSTREE["):
+		return applyFSTree(cfg, key, rest)
 	case strings.HasPrefix(key, "USERCFG["):
 		return applyEntityCfg(cfg, fairness.KindUser, key, "USERCFG[", rest)
 	case strings.HasPrefix(key, "GROUPCFG["):
@@ -233,9 +277,68 @@ func applyDirective(cfg *SchedConfig, key string, rest []string) error {
 		return applyEntityCfg(cfg, fairness.KindClass, key, "CLASSCFG[", rest)
 	case strings.HasPrefix(key, "QOSCFG["):
 		return applyEntityCfg(cfg, fairness.KindQoS, key, "QOSCFG[", rest)
+	case strings.HasPrefix(key, "FSNODECFG["):
+		// DFS budgets attached to a share-tree node (dotted path):
+		// charges to any user under the node count against it.
+		return applyEntityCfg(cfg, fairness.KindFSNode, key, "FSNODECFG[", rest)
 	default:
 		return fmt.Errorf("unknown directive %q", key)
 	}
+	return nil
+}
+
+// applyFSTree parses one FSTREE stanza:
+//
+//	FSTREE[physics.lattice] QUOTA=2 OVERQUOTAWEIGHT=1.5 USERS=u1,u2
+//
+// The bracketed dotted path names a tree node (intermediates are
+// created implicitly); USERS homes user leaves under it. User names
+// are kept case-sensitive — they must match submitted credentials.
+func applyFSTree(cfg *SchedConfig, key string, rest []string) error {
+	if !strings.HasSuffix(key, "]") {
+		return fmt.Errorf("%s: missing closing bracket", key)
+	}
+	path := strings.ToLower(key[len("FSTREE[") : len(key)-1])
+	if path == "" {
+		return fmt.Errorf("%s: empty node path", key)
+	}
+	node := fairtree.SpecNode{Path: path}
+	for _, kv := range rest {
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			return fmt.Errorf("%s: expected KEY=VALUE, got %q", key, kv)
+		}
+		k := strings.ToUpper(kv[:eq])
+		v := kv[eq+1:]
+		switch k {
+		case "QUOTA":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 {
+				return fmt.Errorf("%s: QUOTA wants a positive number, got %q", key, v)
+			}
+			node.Quota = f
+		case "OVERQUOTAWEIGHT":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 {
+				return fmt.Errorf("%s: OVERQUOTAWEIGHT wants a positive number, got %q", key, v)
+			}
+			node.OverQuotaWeight = f
+		case "USERS":
+			for _, u := range strings.Split(v, ",") {
+				u = strings.TrimSpace(u)
+				if u == "" {
+					return fmt.Errorf("%s: USERS has an empty name", key)
+				}
+				node.Users = append(node.Users, u)
+			}
+		default:
+			return fmt.Errorf("%s: unknown setting %q", key, k)
+		}
+	}
+	if cfg.FSTree == nil {
+		cfg.FSTree = &fairtree.Spec{}
+	}
+	cfg.FSTree.Nodes = append(cfg.FSTree.Nodes, node)
 	return nil
 }
 

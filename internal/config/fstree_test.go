@@ -1,0 +1,96 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fairness"
+	"repro/internal/sim"
+)
+
+func TestParseFSTree(t *testing.T) {
+	cfg, err := Parse(`
+FSINTERVAL        12:00:00
+FSDECAY           0.5
+FSTREE[physics]   QUOTA=3 OVERQUOTAWEIGHT=2 USERS=alice,bob
+FSTREE[physics.lattice] QUOTA=2 USERS=carol
+FSTREE[chem]      USERS=dave
+FSNODECFG[physics] DFSTARGETDELAYTIME=3600
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FSInterval != 12*sim.Hour {
+		t.Errorf("FSInterval = %v", cfg.FSInterval)
+	}
+	if cfg.FSDecay != 0.5 || !cfg.FSDecaySet {
+		t.Errorf("FSDecay = %v set=%v", cfg.FSDecay, cfg.FSDecaySet)
+	}
+	if cfg.FSTree == nil || len(cfg.FSTree.Nodes) != 3 {
+		t.Fatalf("FSTree = %+v", cfg.FSTree)
+	}
+	p := cfg.FSTree.Nodes[0]
+	if p.Path != "physics" || p.Quota != 3 || p.OverQuotaWeight != 2 ||
+		len(p.Users) != 2 || p.Users[0] != "alice" || p.Users[1] != "bob" {
+		t.Errorf("physics = %+v", p)
+	}
+	if n := cfg.FSTree.Nodes[1]; n.Path != "physics.lattice" || n.Quota != 2 || n.Users[0] != "carol" {
+		t.Errorf("lattice = %+v", n)
+	}
+	if n := cfg.FSTree.Nodes[2]; n.Path != "chem" || n.Quota != 0 || n.Users[0] != "dave" {
+		t.Errorf("chem = %+v", n)
+	}
+	l := cfg.Fairness.Entities[fairness.EntityKey{Kind: fairness.KindFSNode, Name: "physics"}]
+	if l.TargetDelayTime != sim.Hour {
+		t.Errorf("FSNODECFG physics = %+v", l)
+	}
+}
+
+func TestFSDecayTriState(t *testing.T) {
+	// Unset in the file: the scheduler's default 0.7 applies.
+	cfg, err := Parse("FSINTERVAL 24:00:00\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default() pre-sets 0.7 with FSDecaySet; a hand-built zero
+	// config leaves it unset.
+	if !cfg.FSDecaySet || cfg.FSDecay != 0.7 {
+		t.Errorf("default decay = %v set=%v", cfg.FSDecay, cfg.FSDecaySet)
+	}
+	// Explicit 0 must be honored, not confused with "unset".
+	cfg2, err := Parse("FSDECAY 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg2.FSDecaySet || cfg2.FSDecay != 0 {
+		t.Errorf("explicit zero decay = %v set=%v", cfg2.FSDecay, cfg2.FSDecaySet)
+	}
+}
+
+func TestParseFSTreeErrors(t *testing.T) {
+	cases := []struct {
+		in  string
+		sub string
+	}{
+		{"FSTREE[a QUOTA=1\n", "bracket"},
+		{"FSTREE[]\n", "empty node path"},
+		{"FSTREE[a] QUOTA=-1\n", "QUOTA"},
+		{"FSTREE[a] QUOTA=abc\n", "QUOTA"},
+		{"FSTREE[a] OVERQUOTAWEIGHT=0\n", "OVERQUOTAWEIGHT"},
+		{"FSTREE[a] USERS=x,,y\n", "empty name"},
+		{"FSTREE[a] BOGUS=1\n", "unknown setting"},
+		{"FSTREE[a] QUOTA\n", "KEY=VALUE"},
+		{"FSDECAY 1.5\n", "FSDECAY"},
+		{"FSDECAY x\n", "FSDECAY"},
+		{"FSINTERVAL nope\n", "bad duration"},
+		// Validation failures surface at Parse, not at tree build.
+		{"FSTREE[a] USERS=dup\nFSTREE[b] USERS=dup\n", "homed at both"},
+		{"FSTREE[a..b] USERS=x\n", "path component"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.in)
+		if err == nil || !strings.Contains(err.Error(), tc.sub) {
+			t.Errorf("Parse(%q) err = %v, want substring %q", tc.in, err, tc.sub)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// setupFSQueue builds a fairshare-ordered scheduler state with one
+// queued job per user — the 1M-user acceptance shape: after one user's
+// completion charge lands, refreshing priority order should repair one
+// row, not re-rank a million.
+func setupFSQueue(b *testing.B, nUsers int) (*Scheduler, *trackedRM) {
+	b.Helper()
+	s := fsOrderSched(0.5)
+	rm := &trackedRM{testRM: *newTestRM(1, 4)}
+	for i := 0; i < nUsers; i++ {
+		u := fmt.Sprintf("u%07d", i)
+		j := mkQueued(i+1, u, 8, sim.Hour, sim.Time(i)*sim.Time(sim.Second))
+		rm.queued = append(rm.queued, j)
+		s.fs.Record(u, float64(i%1000+1))
+	}
+	s.ensureTable(0, rm)
+	if !s.table.valid {
+		b.Fatal("table not cached in fsOrder mode")
+	}
+	s.lastRM = rm // normally set by Iterate via noteIteration
+	return s, rm
+}
+
+// BenchmarkRepairOneUser1M measures the incremental order refresh
+// after a single user's usage changes, with one million users queued.
+// Acceptance target: ≥50× faster than BenchmarkRebuildOneUser1M, the
+// full-rescan oracle doing the same refresh by re-sorting.
+func BenchmarkRepairOneUser1M(b *testing.B) {
+	s, rm := setupFSQueue(b, 1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := fmt.Sprintf("u%07d", i%1_000_000)
+		s.fs.Record(u, 1000)
+		s.ensureTable(0, rm)
+	}
+}
+
+func BenchmarkRebuildOneUser1M(b *testing.B) {
+	s, rm := setupFSQueue(b, 1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := fmt.Sprintf("u%07d", i%1_000_000)
+		s.fs.Record(u, 1000)
+		s.table.valid = false // oracle: no repair, full re-sort
+		s.ensureTable(0, rm)
+	}
+}

@@ -12,6 +12,8 @@ package core
 import (
 	"sort"
 
+	"repro/internal/config"
+	"repro/internal/fairtree"
 	"repro/internal/job"
 	"repro/internal/sim"
 )
@@ -75,74 +77,90 @@ func SortByPriority(jobs []*job.Job, now sim.Time, w PriorityWeights, fs *Fairsh
 	})
 }
 
-// Fairshare tracks historical per-user resource usage with exponential
-// interval decay, the usual Maui fairshare mechanism. The factor of a
-// user is targetShare − actualShare: positive for underserved users.
+// Fairshare tracks historical resource usage with exponential interval
+// decay, the usual Maui fairshare mechanism, generalized to a
+// hierarchical share tree (internal/fairtree). The factor of a user is
+// targetShare − actualShare summed over the tree levels: positive for
+// underserved users. With the degenerate flat tree (every user a
+// direct child of the root, quota 1 — the default when no FSTREE is
+// configured) the factor is exactly the legacy 1/n − usage/total.
+//
+// Unlike the old flat map, time no longer costs anything: usage decays
+// lazily on read and Advance is O(records + expiries), not
+// O(intervals × users). A daemon idle over a weekend rolls thousands
+// of intervals in one multiplication per touched node.
 type Fairshare struct {
-	interval      sim.Duration
-	decay         float64
-	intervalStart sim.Time
-	usage         map[string]float64 // decayed core-seconds per user
-	total         float64
+	tree *fairtree.Tree
 }
 
 // NewFairshare creates a tracker with the given accounting interval
-// and per-interval decay (e.g. 24h, 0.7).
+// and per-interval decay (e.g. 24h, 0.7) over a flat degenerate tree.
 func NewFairshare(interval sim.Duration, decay float64) *Fairshare {
-	if interval <= 0 {
-		interval = 24 * sim.Hour
-	}
-	return &Fairshare{interval: interval, decay: decay, usage: make(map[string]float64)}
+	return &Fairshare{tree: fairtree.New(fairtree.Options{Interval: interval, Decay: decay})}
 }
 
-// Advance rolls accounting intervals up to now.
-func (f *Fairshare) Advance(now sim.Time) {
-	for now >= f.intervalStart+f.interval {
-		f.intervalStart += f.interval
-		f.total = 0
-		// Decay in sorted-user order: float addition is not associative,
-		// so accumulating f.total in map order would make priorities
-		// differ in the last bits between same-seed runs.
-		users := make([]string, 0, len(f.usage))
-		for u := range f.usage {
-			users = append(users, u)
-		}
-		sort.Strings(users)
-		for _, u := range users {
-			nv := f.usage[u] * f.decay
-			if nv < 1e-9 {
-				delete(f.usage, u)
-				continue
-			}
-			f.usage[u] = nv
-			f.total += nv
-		}
+// NewFairshareFromConfig builds the fairshare tracker from the parsed
+// scheduler config: FSINTERVAL/FSDECAY set the decay schedule and the
+// FSTREE stanza (validated at parse time) shapes the share hierarchy.
+// Without an FSTREE the tree is flat and behaves exactly like the
+// historical per-user fairshare.
+func NewFairshareFromConfig(cfg *config.SchedConfig) *Fairshare {
+	decay := 0.7
+	if cfg.FSDecaySet {
+		decay = cfg.FSDecay
 	}
+	f := NewFairshare(cfg.FSInterval, decay)
+	// The spec was validated by config.Parse; a hand-built invalid
+	// spec degrades to the flat tree rather than panicking mid-New.
+	_ = f.tree.ApplySpec(cfg.FSTree)
+	return f
 }
 
-// Record charges core-seconds of usage to a user.
+// Tree exposes the underlying share tree (quotas, history emission,
+// ranking).
+func (f *Fairshare) Tree() *fairtree.Tree { return f.tree }
+
+// Advance rolls accounting intervals up to now and folds in any
+// usage recorded concurrently via RecordID.
+func (f *Fairshare) Advance(now sim.Time) { f.tree.Advance(now) }
+
+// Record charges core-seconds of usage to a user, immediately visible
+// to Factor. This is the single-threaded scheduler/simulator path.
 func (f *Fairshare) Record(user string, coreSeconds float64) {
 	if coreSeconds <= 0 {
 		return
 	}
-	f.usage[user] += coreSeconds
-	f.total += coreSeconds
+	f.tree.RecordNow(f.tree.UserID(user), coreSeconds)
 }
 
-// Factor returns targetShare − actualShare in [−1, 1]; users that used
-// more than an equal share get a negative factor. With no usage at all
-// every user gets 0.
-func (f *Fairshare) Factor(user string) float64 {
-	if f.total <= 0 {
-		return 0
-	}
-	nUsers := len(f.usage)
-	if nUsers == 0 {
-		return 0
-	}
-	target := 1.0 / float64(nUsers)
-	return target - f.usage[user]/f.total
+// UserID interns a user name to its share-tree leaf. Intended for
+// submit time, so completion-path accounting is id-indexed.
+func (f *Fairshare) UserID(user string) fairtree.NodeID { return f.tree.UserID(user) }
+
+// RecordID charges core-seconds to an interned leaf via the
+// lock-striped shards: O(1), safe from concurrent ingest goroutines,
+// visible at the next Advance.
+func (f *Fairshare) RecordID(id fairtree.NodeID, coreSeconds float64) {
+	f.tree.Record(id, coreSeconds)
 }
+
+// Factor returns targetShare − actualShare; users that used more than
+// their share get a negative factor. With no usage at all every user
+// gets 0.
+func (f *Fairshare) Factor(user string) float64 {
+	if id, ok := f.tree.LookupUser(user); ok {
+		return f.tree.Factor(id)
+	}
+	return f.tree.NewcomerFactor()
+}
+
+// FactorID is Factor for an already-interned leaf.
+func (f *Fairshare) FactorID(id fairtree.NodeID) float64 { return f.tree.Factor(id) }
 
 // Usage returns the decayed usage recorded for a user.
-func (f *Fairshare) Usage(user string) float64 { return f.usage[user] }
+func (f *Fairshare) Usage(user string) float64 {
+	if id, ok := f.tree.LookupUser(user); ok {
+		return f.tree.UsageOf(id)
+	}
+	return 0
+}

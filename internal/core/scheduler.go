@@ -251,12 +251,17 @@ func New(opts Options, startTime sim.Time) *Scheduler {
 	if opts.Weights == (PriorityWeights{}) {
 		opts.Weights = DefaultWeights()
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		opts:     opts,
 		fair:     fairness.NewTracker(opts.Config.Fairness, startTime),
-		fs:       NewFairshare(24*sim.Hour, 0.7),
+		fs:       NewFairshareFromConfig(opts.Config),
 		planDone: make(chan planOut, 1),
 	}
+	// Hierarchical DFS rollup: a child's delay charge counts against
+	// its ancestors' budgets too. With the degenerate flat tree this
+	// adds no entities and changes nothing.
+	s.fair.AttachShareTree(s.fs.Tree())
+	return s
 }
 
 // FairnessTracker exposes the DFS accounting state (for reports/tests).
@@ -396,13 +401,39 @@ func (s *Scheduler) noteIteration(rm ResourceManager, now sim.Time, deferred boo
 // unchanged queue epoch and the priority weights are time-invariant
 // (no XFactor, no Fairshare: pairwise priority differences are then
 // constant in time, so the sorted order cannot drift between epochs).
+//
+// Fairshare-ordered mode (Fairshare weight alone, no time-varying
+// factors) additionally keeps the cached order across usage changes:
+// uniform decay scales every entity's usage share by the same factor
+// and entity births/deaths shift every target equally, so relative
+// order among entities whose usage did not change is invariant. The
+// share tree's change log names the touched entities; repair re-ranks
+// only their jobs (O(k log n)) instead of re-sorting the queue.
 func (s *Scheduler) ensureTable(now sim.Time, rm ResourceManager) {
 	t := &s.table
 	ct, tracked := rm.(ChangeTracker)
 	w := s.opts.Weights
-	cacheable := tracked && w.XFactor == 0 && w.Fairshare == 0
+	// Fairshare-only weights keep the cached order exact only over a
+	// flat tree: in a hierarchy, one leaf's usage moves its cousins'
+	// factors through the shared ancestors, so untouched entities'
+	// relative order is no longer invariant.
+	fsOrder := w.Fairshare != 0 && w.QueueTime == 0 && w.XFactor == 0 && w.Resource == 0 &&
+		s.fs.tree.Flat()
+	cacheable := tracked && w.XFactor == 0 && (w.Fairshare == 0 || fsOrder)
 	if cacheable && t.valid && rm == s.lastRM && t.queueEpoch == ct.QueueEpoch() {
-		return
+		if w.Fairshare == 0 {
+			return
+		}
+		if dirty, ok := s.fs.tree.DirtySince(t.fsSerial); ok {
+			if len(dirty) == 0 {
+				return
+			}
+			if t.repair(dirty, now, w, s.fs) {
+				t.fsSerial = s.fs.tree.ChangeSerial()
+				t.repairs++
+				return
+			}
+		}
 	}
 	var queued []*job.Job
 	if qs, ok := rm.(QueueSnapshotter); ok {
@@ -412,6 +443,9 @@ func (s *Scheduler) ensureTable(now sim.Time, rm ResourceManager) {
 	}
 	t.fill(s.selectEligible(queued), now, w, s.fs)
 	t.valid = cacheable
+	if fsOrder {
+		t.fsSerial = s.fs.tree.ChangeSerial()
+	}
 	if tracked {
 		t.queueEpoch = ct.QueueEpoch()
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"repro/internal/fairtree"
 	"repro/internal/job"
 	"repro/internal/sim"
 )
@@ -34,14 +35,44 @@ type jobTable struct {
 	id     []job.ID
 	perm   []int32
 
+	// users holds each sorted position's interned share-tree leaf,
+	// filled only in fairshare-ordered mode; it is what lets repair
+	// find the jobs of a dirty entity with a flat int32 scan.
+	users []int32
+
 	// anySys caches whether any eligible job carries SystemPriority,
 	// for the StrictSystemPriority gate.
 	anySys bool
 
 	// Order-cache state: valid marks the sorted arrays reusable while
-	// the RM's queue epoch stays at queueEpoch.
+	// the RM's queue epoch stays at queueEpoch; fsSerial is the share
+	// tree change-log serial the cached order reflects.
 	valid      bool
 	queueEpoch uint64
+	fsSerial   uint64
+
+	// repair scratch.
+	dirtyBits   []uint64
+	extractRows []extractRow
+
+	// repairs counts successful incremental repairs, so tests can
+	// assert the fast path actually engaged rather than silently
+	// falling back to a full fill.
+	repairs uint64
+}
+
+// extractRow is one dirty-entity job pulled out of the sorted table
+// during repair, carrying every column plus its recomputed sort key.
+type extractRow struct {
+	j      *job.Job
+	prio   float64
+	submit sim.Time
+	id     job.ID
+	wall   sim.Duration
+	sys    int64
+	cores  int32
+	user   int32
+	mold   bool
 }
 
 func (t *jobTable) len() int { return len(t.jobs) }
@@ -54,6 +85,7 @@ func (t *jobTable) grow(n int) {
 		t.wall = make([]sim.Duration, n)
 		t.sys = make([]int64, n)
 		t.mold = make([]bool, n)
+		t.users = make([]int32, n)
 		t.prio = make([]float64, n)
 		t.submit = make([]sim.Time, n)
 		t.id = make([]job.ID, n)
@@ -65,6 +97,7 @@ func (t *jobTable) grow(n int) {
 	t.wall = t.wall[:n]
 	t.sys = t.sys[:n]
 	t.mold = t.mold[:n]
+	t.users = t.users[:n]
 	t.prio = t.prio[:n]
 	t.submit = t.submit[:n]
 	t.id = t.id[:n]
@@ -85,6 +118,7 @@ func (t *jobTable) fill(eligible []*job.Job, now sim.Time, w PriorityWeights, fs
 		t.perm[i] = int32(i)
 	}
 	sort.Sort((*tableSorter)(t))
+	fsOrder := fs != nil && w.Fairshare != 0 && w.QueueTime == 0 && w.XFactor == 0 && w.Resource == 0
 	anySys := false
 	for k, pi := range t.perm {
 		j := eligible[pi]
@@ -96,8 +130,179 @@ func (t *jobTable) fill(eligible []*job.Job, now sim.Time, w PriorityWeights, fs
 			anySys = true
 		}
 		t.mold[k] = j.Class == job.Moldable
+		if fsOrder {
+			t.users[k] = int32(fs.UserID(j.Cred.User))
+		}
 	}
 	t.anySys = anySys
+}
+
+// repair restores priority order after fairshare usage changed for the
+// given dirty entities, without re-sorting the queue. It is only valid
+// in fairshare-ordered mode (Fairshare weight alone): there, priority
+// is sys·1e12 + w·factor(user), uniform decay scales every entity's
+// usage share by the same positive constant, and entity births/deaths
+// shift every level target equally — so the relative order of jobs
+// whose entity usage did NOT change is invariant, and only the dirty
+// entities' jobs (k of n) can move. Those are extracted, re-keyed with
+// current factors, sorted among themselves, and merged back with
+// binary-searched insertion points: O(n) flat scans and column moves
+// plus O(k log n) priority evaluations, versus the O(n log n)
+// full-queue re-sort. The result is byte-identical to a full fill
+// because both orders are the same unique (priority, submit, id) total
+// order evaluated at the same instant.
+//
+// Returns false when the affected set is too large for repair to beat
+// a rebuild; the caller falls back to fill.
+func (t *jobTable) repair(dirty []fairtree.NodeID, now sim.Time, w PriorityWeights, fs *Fairshare) bool {
+	n := t.len()
+	if n == 0 {
+		return true
+	}
+	maxID := fairtree.NodeID(0)
+	for _, d := range dirty {
+		if d > maxID {
+			maxID = d
+		}
+	}
+	words := int(maxID)/64 + 1
+	if cap(t.dirtyBits) < words {
+		t.dirtyBits = make([]uint64, words)
+	} else {
+		t.dirtyBits = t.dirtyBits[:words]
+		clear(t.dirtyBits)
+	}
+	for _, d := range dirty {
+		if d > 0 {
+			t.dirtyBits[int(d)/64] |= 1 << (uint32(d) % 64)
+		}
+	}
+	// Flat scan of the interned-user column for affected positions,
+	// parked in the perm scratch.
+	k := 0
+	for i := 0; i < n; i++ {
+		u := t.users[i]
+		if u >= 0 && fairtree.NodeID(u) <= maxID && t.dirtyBits[u/64]&(1<<(uint32(u)%64)) != 0 {
+			t.perm[k] = int32(i)
+			k++
+		}
+	}
+	if k == 0 {
+		return true
+	}
+	if k*8 > n {
+		return false
+	}
+	// Pull the affected rows out with freshly evaluated priorities.
+	rows := t.extractRows
+	if cap(rows) < k {
+		rows = make([]extractRow, k)
+	}
+	rows = rows[:k]
+	for x := 0; x < k; x++ {
+		i := int(t.perm[x])
+		j := t.jobs[i]
+		rows[x] = extractRow{
+			j:      j,
+			prio:   w.Priority(j, now, fs),
+			submit: j.SubmitTime,
+			id:     j.ID,
+			wall:   t.wall[i],
+			sys:    t.sys[i],
+			cores:  t.cores[i],
+			user:   t.users[i],
+			mold:   t.mold[i],
+		}
+	}
+	t.extractRows = rows[:0]
+	// Compact the untouched rows in place (order preserved).
+	wi := int(t.perm[0])
+	next := 0
+	for i := wi; i < n; i++ {
+		if next < k && int(t.perm[next]) == i {
+			next++
+			continue
+		}
+		t.moveRow(wi, i)
+		wi++
+	}
+	m := n - k // untouched count
+	// Order the extracted rows by the same unique total order the
+	// full sort uses.
+	sort.Slice(rows, func(a, b int) bool {
+		return rowBefore(rows[a].prio, rows[a].submit, rows[a].id, rows[b].prio, rows[b].submit, rows[b].id)
+	})
+	// Insertion points into the untouched run, binary-searched with
+	// pivot priorities evaluated on the fly. perm is free again.
+	ins := t.perm[:k]
+	for x := 0; x < k; x++ {
+		lo, hi := 0, m
+		if x > 0 {
+			lo = int(ins[x-1]) // rows are sorted: points are non-decreasing
+		}
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			pj := t.jobs[mid]
+			if rowBefore(w.Priority(pj, now, fs), pj.SubmitTime, pj.ID, rows[x].prio, rows[x].submit, rows[x].id) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		ins[x] = int32(lo)
+	}
+	// Single backward merge: shift untouched blocks right and drop
+	// each extracted row into its slot. Go's copy is memmove, so the
+	// overlapping block shifts are safe.
+	wi = n - 1
+	uj := m - 1
+	for x := k - 1; x >= 0; x-- {
+		if cnt := uj - int(ins[x]) + 1; cnt > 0 {
+			t.moveRows(wi-cnt+1, int(ins[x]), cnt)
+			wi -= cnt
+			uj = int(ins[x]) - 1
+		}
+		t.jobs[wi] = rows[x].j
+		t.cores[wi] = rows[x].cores
+		t.wall[wi] = rows[x].wall
+		t.sys[wi] = rows[x].sys
+		t.mold[wi] = rows[x].mold
+		t.users[wi] = rows[x].user
+		wi--
+	}
+	return true
+}
+
+// rowBefore is the table's total sort order: priority descending,
+// then submit time, then ID (unique).
+func rowBefore(pa float64, sa sim.Time, ia job.ID, pb float64, sb sim.Time, ib job.ID) bool {
+	if pa != pb {
+		return pa > pb
+	}
+	if sa != sb {
+		return sa < sb
+	}
+	return ia < ib
+}
+
+// moveRow copies one row across every sorted column.
+func (t *jobTable) moveRow(dst, src int) {
+	t.jobs[dst] = t.jobs[src]
+	t.cores[dst] = t.cores[src]
+	t.wall[dst] = t.wall[src]
+	t.sys[dst] = t.sys[src]
+	t.mold[dst] = t.mold[src]
+	t.users[dst] = t.users[src]
+}
+
+// moveRows block-copies cnt rows from src to dst in every column.
+func (t *jobTable) moveRows(dst, src, cnt int) {
+	copy(t.jobs[dst:dst+cnt], t.jobs[src:src+cnt])
+	copy(t.cores[dst:dst+cnt], t.cores[src:src+cnt])
+	copy(t.wall[dst:dst+cnt], t.wall[src:src+cnt])
+	copy(t.sys[dst:dst+cnt], t.sys[src:src+cnt])
+	copy(t.mold[dst:dst+cnt], t.mold[src:src+cnt])
+	copy(t.users[dst:dst+cnt], t.users[src:src+cnt])
 }
 
 // tableSorter sorts the permutation by descending priority with the

@@ -18,9 +18,10 @@ package fairness
 
 import (
 	"fmt"
-	"sort"
+	"math"
 	"strings"
 
+	"repro/internal/fairtree"
 	"repro/internal/job"
 	"repro/internal/sim"
 )
@@ -82,9 +83,15 @@ const (
 	KindAccount
 	KindClass
 	KindQoS
+	// KindFSNode is a share-tree interior node (org/team): when a
+	// tracker has a share tree attached, a delay charged to a user
+	// also rolls up to every ancestor node on the user's tree path,
+	// so target-delay budgets can be set per org or team
+	// (FSNODECFG[path] in maui.cfg).
+	KindFSNode
 )
 
-var kindNames = [...]string{"user", "group", "account", "class", "qos"}
+var kindNames = [...]string{"user", "group", "account", "class", "qos", "fsnode"}
 
 func (k EntityKind) String() string {
 	if k < 0 || int(k) >= len(kindNames) {
@@ -144,26 +151,37 @@ func (c *Config) Set(kind EntityKind, name string, l Limits) {
 	c.Entities[EntityKey{kind, name}] = l
 }
 
-// keysFor returns the entity keys applicable to a job's credentials,
-// in a deterministic order.
-func keysFor(cred job.Credentials) []EntityKey {
-	var keys []EntityKey
+// keysInto appends the entity keys applicable to a job's credentials,
+// in a deterministic order, to dst (a scratch buffer the tracker
+// reuses — the hot path of Evaluate and Charge allocates nothing
+// steady-state). With a share tree attached, the user's ancestor
+// nodes are appended too, so child charges roll up to org/team
+// budgets; over the degenerate flat tree the user leaf hangs directly
+// off the root and no extra keys appear.
+func (t *Tracker) keysInto(cred job.Credentials, dst []EntityKey) []EntityKey {
 	if cred.User != "" {
-		keys = append(keys, EntityKey{KindUser, cred.User})
+		dst = append(dst, EntityKey{KindUser, cred.User})
 	}
 	if cred.Group != "" {
-		keys = append(keys, EntityKey{KindGroup, cred.Group})
+		dst = append(dst, EntityKey{KindGroup, cred.Group})
 	}
 	if cred.Account != "" {
-		keys = append(keys, EntityKey{KindAccount, cred.Account})
+		dst = append(dst, EntityKey{KindAccount, cred.Account})
 	}
 	if cred.Class != "" {
-		keys = append(keys, EntityKey{KindClass, cred.Class})
+		dst = append(dst, EntityKey{KindClass, cred.Class})
 	}
 	if cred.QoS != "" {
-		keys = append(keys, EntityKey{KindQoS, cred.QoS})
+		dst = append(dst, EntityKey{KindQoS, cred.QoS})
 	}
-	return keys
+	if t.tree != nil && cred.User != "" {
+		if leaf, ok := t.tree.LookupUser(cred.User); ok {
+			for p := t.tree.Parent(leaf); p > 0; p = t.tree.Parent(p) {
+				dst = append(dst, EntityKey{KindFSNode, t.tree.CachedPath(p)})
+			}
+		}
+	}
+	return dst
 }
 
 // JobDelay reports the delay a hypothetical dynamic grant would cause
@@ -189,6 +207,16 @@ type Tracker struct {
 	intervalStart sim.Time
 	perEntity     map[EntityKey]sim.Duration
 	perJob        map[job.ID]sim.Duration
+
+	// tree, when attached, rolls every charge up to the user's
+	// ancestor share-tree nodes (KindFSNode entities).
+	tree *fairtree.Tree
+
+	// Scratch reused across Evaluate/Charge calls so the hot path is
+	// allocation-free once warm.
+	keyBuf     []EntityKey
+	evalEntity map[EntityKey]sim.Duration
+	evalKeys   []EntityKey
 }
 
 // NewTracker creates a tracker starting its first interval at start.
@@ -210,21 +238,40 @@ func NewTracker(cfg *Config, start sim.Time) *Tracker {
 // Config returns the tracker's configuration.
 func (t *Tracker) Config() *Config { return t.cfg }
 
+// AttachShareTree connects a fairshare tree: from then on, charges to
+// a user also count against the target-delay budgets of the user's
+// ancestor nodes (KindFSNode). Attaching a flat tree is a no-op in
+// effect.
+func (t *Tracker) AttachShareTree(tr *fairtree.Tree) { t.tree = tr }
+
 // Advance rolls the accounting interval forward to cover now, applying
 // DFSDecay at each boundary crossed. Call before Evaluate/Charge.
+//
+// All k elapsed boundaries are applied in one closed-form decay^k
+// step: a daemon idle over a weekend used to pay thousands of full-map
+// sweeps here. Equivalence with the per-interval loop is exact for
+// decay 0 (clear), 1 (identity), and 0.5 (truncated integer halving:
+// floor(floor(v/2)/2) = floor(v/4), and ×0.5^k is exact in float64);
+// see TestAdvanceClosedFormEquivalence.
 func (t *Tracker) Advance(now sim.Time) {
-	for now >= t.intervalStart+t.cfg.Interval {
-		t.intervalStart += t.cfg.Interval
-		if t.cfg.Decay <= 0 {
-			clear(t.perEntity)
-			continue
-		}
-		for k, v := range t.perEntity {
-			nv := sim.Duration(float64(v) * t.cfg.Decay)
+	if now < t.intervalStart+t.cfg.Interval {
+		return
+	}
+	k := int64((now - t.intervalStart) / t.cfg.Interval)
+	t.intervalStart += sim.Duration(k) * t.cfg.Interval
+	switch {
+	case t.cfg.Decay <= 0:
+		clear(t.perEntity)
+	case t.cfg.Decay >= 1:
+		// Identity: nothing decays, nothing is forgotten.
+	default:
+		factor := math.Pow(t.cfg.Decay, float64(k))
+		for key, v := range t.perEntity {
+			nv := sim.Duration(float64(v) * factor)
 			if nv <= 0 {
-				delete(t.perEntity, k)
+				delete(t.perEntity, key)
 			} else {
-				t.perEntity[k] = nv
+				t.perEntity[key] = nv
 			}
 		}
 	}
@@ -252,8 +299,13 @@ func (t *Tracker) Evaluate(requester job.Credentials, delays []JobDelay) Decisio
 	}
 	// Aggregate the would-be charges per entity first: a single grant
 	// may delay several jobs of the same user, and the target check
-	// must consider their sum.
-	perEntity := make(map[EntityKey]sim.Duration)
+	// must consider their sum. The map is tracker scratch (cleared,
+	// not reallocated) so steady-state evaluation is allocation-free.
+	if t.evalEntity == nil {
+		t.evalEntity = make(map[EntityKey]sim.Duration)
+	}
+	perEntity := t.evalEntity
+	clear(perEntity)
 	for _, d := range delays {
 		if d.Delay <= 0 {
 			continue
@@ -262,7 +314,8 @@ func (t *Tracker) Evaluate(requester job.Credentials, delays []JobDelay) Decisio
 		if d.Job.Cred.User == requester.User {
 			continue
 		}
-		keys := keysFor(d.Job.Cred)
+		keys := t.keysInto(d.Job.Cred, t.keyBuf[:0])
+		t.keyBuf = keys[:0]
 		// Permission: any applicable entity that explicitly disallows
 		// delays vetoes the grant.
 		for _, k := range keys {
@@ -286,16 +339,13 @@ func (t *Tracker) Evaluate(requester job.Credentials, delays []JobDelay) Decisio
 	// Target limit: each charged entity must stay within its own
 	// per-interval budget.
 	if t.cfg.Policy.checksTarget() {
-		keys := make([]EntityKey, 0, len(perEntity))
+		keys := t.evalKeys[:0]
 		for k := range perEntity {
+			//lint:maporder keys are ordered by sortKeys below; the zero-alloc insertion sort is not in the analyzer's sanctioned sort list
 			keys = append(keys, k)
 		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].Kind != keys[j].Kind {
-				return keys[i].Kind < keys[j].Kind
-			}
-			return keys[i].Name < keys[j].Name
-		})
+		t.evalKeys = keys[:0]
+		sortKeys(keys)
 		for _, k := range keys {
 			l, ok := t.cfg.Entities[k]
 			if !ok || l.TargetDelayTime == 0 {
@@ -308,6 +358,21 @@ func (t *Tracker) Evaluate(requester job.Credentials, delays []JobDelay) Decisio
 		}
 	}
 	return Decision{Allowed: true}
+}
+
+// sortKeys orders entity keys by kind then name. Insertion sort over
+// a handful of keys (credential levels plus tree ancestors), with no
+// sort.Slice closure: the Evaluate hot path stays allocation-free.
+func sortKeys(keys []EntityKey) {
+	for i := 1; i < len(keys); i++ {
+		k := keys[i]
+		j := i - 1
+		for j >= 0 && (keys[j].Kind > k.Kind || (keys[j].Kind == k.Kind && keys[j].Name > k.Name)) {
+			keys[j+1] = keys[j]
+			j--
+		}
+		keys[j+1] = k
+	}
 }
 
 // mostRestrictive returns the smallest non-zero limit among the
@@ -340,9 +405,11 @@ func (t *Tracker) Charge(requester job.Credentials, delays []JobDelay) {
 			continue
 		}
 		t.perJob[d.Job.ID] += d.Delay
-		for _, k := range keysFor(d.Job.Cred) {
+		keys := t.keysInto(d.Job.Cred, t.keyBuf[:0])
+		for _, k := range keys {
 			t.perEntity[k] += d.Delay
 		}
+		t.keyBuf = keys[:0]
 	}
 }
 

@@ -1,0 +1,64 @@
+package fairtree
+
+import "sync"
+
+// Interner is a symbol table mapping strings to dense int32 ids. The
+// scheduler interns credential strings once at submit time so every
+// later hot-path touch (usage stamps, factor reads, priority repair)
+// is an array index instead of a string-map hash.
+//
+// Intern and Lookup are safe for concurrent use; the read path takes
+// only an RLock and allocates nothing for already-interned strings.
+type Interner struct {
+	mu    sync.RWMutex
+	ids   map[string]int32
+	names []string
+}
+
+// Intern returns the dense id for s, assigning the next id on first
+// sight.
+func (in *Interner) Intern(s string) int32 {
+	in.mu.RLock()
+	id, ok := in.ids[s]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	if in.ids == nil {
+		in.ids = make(map[string]int32)
+	}
+	id = int32(len(in.names))
+	in.ids[s] = id
+	in.names = append(in.names, s)
+	return id
+}
+
+// Lookup returns the id for s without interning it.
+func (in *Interner) Lookup(s string) (int32, bool) {
+	in.mu.RLock()
+	id, ok := in.ids[s]
+	in.mu.RUnlock()
+	return id, ok
+}
+
+// Name returns the string for an interned id.
+func (in *Interner) Name(id int32) string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if id < 0 || int(id) >= len(in.names) {
+		return ""
+	}
+	return in.names[id]
+}
+
+// Len returns how many strings have been interned.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.names)
+}

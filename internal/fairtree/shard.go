@@ -1,0 +1,105 @@
+package fairtree
+
+import (
+	"sort"
+	"sync"
+)
+
+// stamp is one pending usage charge awaiting fold.
+type stamp struct {
+	id  NodeID
+	amt float64
+}
+
+// shard is a lock-striped append log. Padding keeps stripes on
+// separate cache lines so concurrent producers don't false-share.
+type shard struct {
+	mu  sync.Mutex
+	buf []stamp
+	_   [40]byte
+}
+
+type shardSet struct {
+	shards []shard
+}
+
+func newShardSet(n int) *shardSet {
+	return &shardSet{shards: make([]shard, n)}
+}
+
+// Record appends a usage charge to one of the lock-striped shards.
+// It is O(1), uncontended across producers that hash to different
+// stripes, and safe to call concurrently with everything else. The
+// charge becomes visible at the next Advance (fold).
+func (t *Tree) Record(id NodeID, amt float64) {
+	if amt <= 0 || id <= 0 {
+		return
+	}
+	s := &t.shards.shards[uint32(id)%uint32(len(t.shards.shards))]
+	s.mu.Lock()
+	s.buf = append(s.buf, stamp{id: id, amt: amt})
+	s.mu.Unlock()
+}
+
+// PendingRecords reports how many sharded charges await the next fold.
+func (t *Tree) PendingRecords() int {
+	n := 0
+	for i := range t.shards.shards {
+		s := &t.shards.shards[i]
+		s.mu.Lock()
+		n += len(s.buf)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Fold drains the shards into the tree without rolling the epoch.
+// Advance calls this implicitly; it is exported for callers that need
+// sharded records visible mid-epoch.
+func (t *Tree) Fold() {
+	t.mu.Lock()
+	t.foldLocked()
+	t.mu.Unlock()
+}
+
+// foldLocked drains every shard and applies the charges. The collected
+// stamps are sorted by (id, amt) before accumulation so the resulting
+// float sums — and therefore every downstream factor, history row, and
+// scheduling decision — are byte-identical no matter how producers
+// were scheduled across shards. Caller holds mu.
+func (t *Tree) foldLocked() {
+	buf := t.foldBuf[:0]
+	for i := range t.shards.shards {
+		s := &t.shards.shards[i]
+		s.mu.Lock()
+		buf = append(buf, s.buf...)
+		s.buf = s.buf[:0]
+		s.mu.Unlock()
+	}
+	t.foldBuf = buf[:0] // keep capacity
+	if len(buf) == 0 {
+		return
+	}
+	sort.Slice(buf, func(i, j int) bool {
+		if buf[i].id != buf[j].id {
+			return buf[i].id < buf[j].id
+		}
+		return buf[i].amt < buf[j].amt
+	})
+	// Accumulate per-id runs in sorted order, one applyLeaf per id.
+	runID := buf[0].id
+	sum := 0.0
+	for i := 0; i < len(buf); i++ {
+		if buf[i].id != runID {
+			if sum > 0 {
+				t.applyLeaf(runID, sum)
+			}
+			runID = buf[i].id
+			sum = 0
+		}
+		sum += buf[i].amt
+	}
+	if sum > 0 {
+		t.applyLeaf(runID, sum)
+	}
+}

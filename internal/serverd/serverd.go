@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fairtree"
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/proto"
@@ -96,6 +97,10 @@ type jobInfo struct {
 	negTimer  *time.Timer // negotiation deadline; stopped when the dyn request resolves
 	dynGrant  sim.Time
 	granted   bool
+	// fsID is the user's share-tree leaf, interned once at submit so
+	// completion-path usage accounting is an O(1) sharded append
+	// instead of a string-map lookup under the server mutex.
+	fsID fairtree.NodeID
 }
 
 // nodeInfo mirrors one registered mom.
@@ -659,7 +664,11 @@ func (s *Server) QSub(spec proto.JobSpec) (int, error) {
 		State:          job.Queued,
 		SystemPriority: spec.SystemPriority,
 	}
-	s.jobs[id] = &jobInfo{j: j, spec: spec}
+	fsID := fairtree.None
+	if s.opts.Sched != nil {
+		fsID = s.opts.Sched.Fairshare().UserID(j.Cred.User)
+	}
+	s.jobs[id] = &jobInfo{j: j, spec: spec, fsID: fsID}
 	s.queued = append(s.queued, j)
 	s.rec.ObserveSubmit(j.SubmitTime)
 	s.bumpQueueLocked()
@@ -950,8 +959,10 @@ func (s *Server) jobDone(from *nodeInfo, done proto.JobDoneReq) {
 		DynGranted: ji.granted, GrantTime: ji.dynGrant,
 	})
 	s.rec.ObserveUsage(s.now(), s.cl.UsedCores())
-	if s.opts.Sched != nil {
-		s.opts.Sched.Fairshare().Record(j.Cred.User,
+	if s.opts.Sched != nil && ji.fsID > 0 {
+		// Sharded O(1) append by the interned leaf id; the charge
+		// folds into the tree at the scheduler's next Advance.
+		s.opts.Sched.Fairshare().RecordID(ji.fsID,
 			float64(j.TotalCores())*sim.SecondsOf(j.EndTime-j.StartTime))
 	}
 	s.bumpLocked()
