@@ -12,10 +12,17 @@
 //	epochguard       writes to epoch-guarded fields must reach their bump before return
 //	poollife         pooled objects: no use after release, released or escaped on every path
 //	arenasafe        arena refs die at the next Alloc; handles die at Reset/CopyFrom/Free
+//	atomicfield      sync/atomic fields: atomic everywhere, declared, 64-bit aligned on 386
+//	sharedguard      fields written from several goroutine contexts need a declared guard
+//	chanlife         channel fields: one closing owner, no send-after-close or double close
 //
 // Usage:
 //
-//	go run ./cmd/schedlint [-json|-sarif] [-o file] [packages...]   (default: repro/...)
+//	go run ./cmd/schedlint [-json|-sarif] [-tests] [-o file] [packages...]   (default: repro/...)
+//
+// -tests re-checks each package with its _test.go files included and
+// adds external test packages; only analyzers that opt in (the
+// memory-model trio above) report findings inside test files.
 //
 // Output modes:
 //
@@ -45,6 +52,8 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/arenasafe"
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/chanlife"
 	"repro/internal/analysis/epochguard"
 	"repro/internal/analysis/goroutinelife"
 	"repro/internal/analysis/loader"
@@ -55,6 +64,7 @@ import (
 	"repro/internal/analysis/poollife"
 	"repro/internal/analysis/protoerr"
 	"repro/internal/analysis/protoexhaustive"
+	"repro/internal/analysis/sharedguard"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -68,12 +78,16 @@ var analyzers = []*analysis.Analyzer{
 	epochguard.Analyzer,
 	poollife.Analyzer,
 	arenasafe.Analyzer,
+	atomicfield.Analyzer,
+	sharedguard.Analyzer,
+	chanlife.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	tests := flag.Bool("tests", false, "include _test.go files and external test packages")
 	outPath := flag.String("o", "", "write the report to this file instead of stdout")
 	flag.Parse()
 	if *list {
@@ -99,6 +113,7 @@ func main() {
 	}
 
 	l := loader.New()
+	l.IncludeTests = *tests
 	pkgs, err := l.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedlint:", err)

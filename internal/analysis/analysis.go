@@ -24,6 +24,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Analyzer describes one static check.
@@ -36,6 +37,14 @@ type Analyzer struct {
 	// analyzer ("wallclock" → `//lint:wallclock <reason>`). Empty means
 	// findings cannot be suppressed.
 	Directive string
+	// Tests opts the analyzer into _test.go files: when the driver
+	// loads a package with its test files (schedlint -tests), findings
+	// that analyzers without Tests report inside test files are
+	// dropped. The memory-model analyzers opt in — tests spawn real
+	// daemons and race like any other code — while the style and
+	// determinism contracts (nodeterminism, goroutinelife, ...) bind
+	// product code only.
+	Tests bool
 	// Run inspects the package and reports findings via pass.Report.
 	Run func(pass *Pass) error
 }
@@ -57,6 +66,11 @@ type Pass struct {
 	// reads the message-type registry out of internal/proto while
 	// analyzing a daemon's dispatch switch.
 	Dep func(path string) *Target
+	// Cached memoizes a derived artifact on the underlying Target, so
+	// expensive per-package structures (the call graph) are built once
+	// and shared by every analyzer in the run instead of once per
+	// analyzer. Nil when the pass was constructed without a Target.
+	Cached func(key string, build func() any) any
 }
 
 // Diagnostic is one finding.
@@ -93,6 +107,28 @@ type Target struct {
 	// Dep, when set by the driver, resolves an imported package's
 	// Target (see Pass.Dep).
 	Dep func(path string) *Target
+	// TestsLoaded marks a target whose Files include _test.go files;
+	// RunAnalyzers then drops test-file findings from analyzers that
+	// did not opt in via Analyzer.Tests.
+	TestsLoaded bool
+
+	cache map[string]any
+}
+
+// Cached memoizes build's result under key for the lifetime of the
+// target: the first caller builds, everyone after shares. RunAnalyzers
+// threads it into every Pass so per-package artifacts (the call graph)
+// are computed once per package, not once per analyzer.
+func (t *Target) Cached(key string, build func() any) any {
+	if t.cache == nil {
+		t.cache = make(map[string]any)
+	}
+	v, ok := t.cache[key]
+	if !ok {
+		v = build()
+		t.cache[key] = v
+	}
+	return v
 }
 
 // RunAnalyzers applies every analyzer to the package, filters findings
@@ -111,6 +147,7 @@ func RunAnalyzers(t *Target, analyzers []*Analyzer) ([]Finding, error) {
 			TypesInfo: t.TypesInfo,
 			Report:    func(d Diagnostic) { diags = append(diags, d) },
 			Dep:       t.Dep,
+			Cached:    t.Cached,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %v", a.Name, err)
@@ -118,6 +155,9 @@ func RunAnalyzers(t *Target, analyzers []*Analyzer) ([]Finding, error) {
 		for _, d := range diags {
 			pos := t.Fset.Position(d.Pos)
 			if !d.Unsuppressable && a.Directive != "" && sup.Suppressed(a.Directive, pos) {
+				continue
+			}
+			if t.TestsLoaded && !a.Tests && strings.HasSuffix(pos.Filename, "_test.go") {
 				continue
 			}
 			out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})

@@ -1,0 +1,291 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct
+// fields: a field that is accessed through sync/atomic anywhere in a
+// package must be accessed atomically *everywhere* in that package. A
+// single plain load racing one atomic store is exactly the bug class
+// the race detector only catches when a test happens to interleave —
+// the daemons' hottest state (heartbeat counters, connection epochs,
+// claim indices) moved onto atomics in the 10k-connection and 1M-user
+// scale-ups, so the discipline is machine-checked.
+//
+// A field becomes *atomic* in one of two ways:
+//
+//   - its declaration carries the intent marker
+//
+//     seq int64 //schedlint:atomic
+//
+//   - some access in the package goes through a sync/atomic function
+//     (atomic.LoadInt64(&s.seq), atomic.AddUint64, CompareAndSwap...).
+//     Such a field must *also* carry the marker — the declaration is
+//     where the next reader learns the protocol, and the marker is what
+//     exempts the field from sharedguard's multi-writer check.
+//
+// Fields whose type already is one of the sync/atomic wrapper types
+// (atomic.Int64, atomic.Uint64, atomic.Bool, ...) are intrinsically
+// atomic: the methods are the only way in, so nothing is checked (and
+// no marker is needed).
+//
+// Checks on plain-typed atomic fields:
+//
+//   - every other read or write of the field — a selector outside an
+//     atomic call's address argument — is a finding. Constructor
+//     initialization of a provably fresh, unpublished object is exempt
+//     (nobody can race with a struct that has not escaped yet).
+//   - 64-bit fields (int64/uint64) must be 64-bit aligned under
+//     GOARCH=386 struct layout: sync/atomic's 64-bit operations fault
+//     or silently tear on 32-bit platforms when the address is only
+//     4-byte aligned. The analyzer computes the field's offset with
+//     the 386 size model and flags any field at offset % 8 != 0 —
+//     place the field first (the repo's convention) or switch to
+//     atomic.Int64, whose layout trick guarantees alignment anywhere.
+//
+// Findings can be suppressed with `//lint:atomic <reason>`; the
+// canonical exemption is a plain read in a function documented to run
+// strictly before publication or after the last writer is joined.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer is the atomicfield check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicfield",
+	Doc:       "fields accessed through sync/atomic must be accessed atomically everywhere, declared //schedlint:atomic, and 64-bit aligned for GOARCH=386",
+	Directive: "atomic",
+	Tests:     true,
+	Run:       run,
+}
+
+// MarkerKey is the declaration marker consumed here and trusted by
+// sharedguard as a guard declaration.
+const MarkerKey = "atomic"
+
+// IsAtomicType reports whether t (after pointer unwrapping) is one of
+// the sync/atomic wrapper types, whose methods are the only access
+// path.
+func IsAtomicType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// field carries what the analyzer learned about one tracked field.
+type field struct {
+	v       *types.Var
+	marked  bool      // declaration carries the schedlint:atomic marker
+	width64 bool      // some atomic access used a ...64 function, or the type is int64/uint64
+	atomPos token.Pos // one atomic access site, as the witness for the missing-marker report
+}
+
+func run(pass *analysis.Pass) error {
+	fields := map[*types.Var]*field{}
+	track := func(v *types.Var) *field {
+		f := fields[v]
+		if f == nil {
+			f = &field{v: v}
+			fields[v] = f
+		}
+		return f
+	}
+
+	// Declared intent.
+	for _, fm := range dataflow.FieldMarkers(pass.Files, pass.TypesInfo, MarkerKey) {
+		if IsAtomicType(fm.Field.Type()) {
+			pass.Reportf(fm.Pos, "field %s already has a sync/atomic type; the //schedlint:atomic marker is for plain-typed fields accessed via the atomic functions", fm.Field.Name())
+			continue
+		}
+		f := track(fm.Field)
+		f.marked = true
+	}
+
+	// Observed atomic accesses: &x.f as the address argument of a
+	// sync/atomic call. Collect the selector nodes consumed this way so
+	// the plain-access walk below can skip them.
+	atomicArg := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := dataflow.CalledFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			atomicArg[sel] = true
+			f := track(v)
+			if !f.atomPos.IsValid() {
+				f.atomPos = call.Pos()
+			}
+			if strings.HasSuffix(fn.Name(), "64") {
+				f.width64 = true
+			}
+			return true
+		})
+	}
+
+	if len(fields) == 0 {
+		return nil
+	}
+	for _, f := range fields {
+		if isWord64(f.v.Type()) {
+			f.width64 = true
+		}
+	}
+
+	// An atomically-accessed field must declare the protocol on its
+	// declaration line.
+	for _, f := range fields {
+		if !f.marked && f.atomPos.IsValid() {
+			pass.Reportf(f.atomPos, "field %s is accessed atomically here but its declaration does not carry //schedlint:atomic; declare the protocol on the field", f.v.Name())
+		}
+	}
+
+	// Every remaining selector touching a tracked field is a plain
+	// access: a read or write racing the atomic protocol.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if atomicArg[sel] {
+				return true
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			f := fields[v]
+			if f == nil {
+				return true
+			}
+			// Constructor initialization of a fresh, unpublished object
+			// cannot race anything.
+			if path := dataflow.SelectorPath(pass.TypesInfo, sel); len(path) > 0 &&
+				dataflow.FreshLocal(pass.Files, pass.TypesInfo, pass.Pkg, path[0]) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "plain access to atomic field %s (all reads and writes must go through sync/atomic); use the atomic functions, an atomic.%s field, or annotate //lint:atomic <reason>", v.Name(), suggestType(v.Type()))
+			return true
+		})
+	}
+
+	check386Alignment(pass, fields)
+	return nil
+}
+
+// isWord64 reports whether t is a 64-bit integer type.
+func isWord64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64:
+		return true
+	}
+	return false
+}
+
+// suggestType names the sync/atomic wrapper matching a plain field
+// type, for the finding message.
+func suggestType(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	return "Value"
+}
+
+// check386Alignment verifies that every 64-bit atomic field is 8-byte
+// aligned under the GOARCH=386 size model. On 386 the maximum natural
+// alignment is 4 bytes, so an int64 field lands on an 8-byte boundary
+// only when every preceding field's size happens to sum to a multiple
+// of 8 — the analyzer computes the real offsets instead of guessing.
+// (The wrapper types atomic.Int64/Uint64 self-align and never get
+// here.)
+func check386Alignment(pass *analysis.Pass, fields map[*types.Var]*field) {
+	sizes := types.SizesFor("gc", "386")
+	if sizes == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[st]
+			if !ok {
+				return true
+			}
+			s, ok := tv.Type.(*types.Struct)
+			if !ok {
+				return true
+			}
+			var vars []*types.Var
+			for i := 0; i < s.NumFields(); i++ {
+				vars = append(vars, s.Field(i))
+			}
+			if len(vars) == 0 {
+				return true
+			}
+			offsets := sizes.Offsetsof(vars)
+			for i, v := range vars {
+				f := fields[v]
+				if f == nil || !f.width64 {
+					continue
+				}
+				if offsets[i]%8 != 0 {
+					pass.Reportf(v.Pos(), "64-bit atomic field %s is at offset %d under GOARCH=386 layout; 64-bit atomics fault on 32-bit platforms unless the field is 8-byte aligned — move it to the front of the struct or use atomic.%s", v.Name(), offsets[i], suggestType(v.Type()))
+				}
+			}
+			return true
+		})
+	}
+}

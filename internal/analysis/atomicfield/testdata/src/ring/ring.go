@@ -1,0 +1,60 @@
+// Package ring is the atomicfield golden fixture: a cut-down
+// lock-free ring in the shape of serverd's beacon ring, seeded with
+// the violations the analyzer must catch and the annotated forms that
+// must stay silent.
+package ring
+
+import "sync/atomic"
+
+// ring mixes declared atomics, an undeclared atomic, and a misaligned
+// 64-bit field.
+type ring struct {
+	// head is the producer cursor; aligned (offset 0) and declared.
+	head uint64 //schedlint:atomic
+	pad  int32
+	// misal sits at offset 12 under 386 layout: 64-bit atomics would
+	// fault or tear there.
+	misal int64 //schedlint:atomic // want `64-bit atomic field misal is at offset 12 under GOARCH=386`
+	pad2  int32
+	// undeclared is accessed atomically below but carries no marker;
+	// it sits at offset 24, so only the marker finding fires.
+	undeclared int64
+	// wrapped needs no marker: the type is the protocol.
+	wrapped atomic.Uint64
+}
+
+// marked on a wrapper type is itself a finding.
+type doubly struct {
+	n atomic.Int64 //schedlint:atomic // want `already has a sync/atomic type`
+}
+
+func newRing() *ring {
+	r := &ring{}
+	// Fresh-local constructor writes are unpublished and exempt.
+	r.head = 0
+	r.misal = 0
+	return r
+}
+
+func (r *ring) push() {
+	atomic.AddUint64(&r.head, 1)
+	atomic.AddInt64(&r.undeclared, 1) // want `accessed atomically here but its declaration does not carry //schedlint:atomic`
+	r.wrapped.Add(1)
+}
+
+func (r *ring) sweepBroken() uint64 {
+	return r.head // want `plain access to atomic field head`
+}
+
+func (r *ring) sweepFixed() uint64 {
+	return atomic.LoadUint64(&r.head)
+}
+
+func (r *ring) storeBroken(v int64) {
+	r.misal = v // want `plain access to atomic field misal`
+}
+
+func (r *ring) auditedSnapshot() uint64 {
+	//lint:atomic caller holds the producers quiesced during snapshot
+	return r.head
+}

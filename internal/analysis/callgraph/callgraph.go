@@ -60,6 +60,10 @@ func (n *Node) Body() *ast.BlockStmt {
 type Edge struct {
 	Callee *Node
 	Pos    token.Pos
+	// Site is the call expression itself, for analyzers that match
+	// arguments to the callee's parameters (sharedguard's parameter
+	// flow).
+	Site *ast.CallExpr
 	// Deferred marks `defer f()` edges; they still run in the calling
 	// goroutine, but at function exit.
 	Deferred bool
@@ -87,8 +91,19 @@ func (g *Graph) NodeOf(fn *types.Func) *Node { return g.byFunc[fn] }
 // NodeOfLit resolves a function literal to its node.
 func (g *Graph) NodeOfLit(lit *ast.FuncLit) *Node { return g.byLit[lit] }
 
-// Build constructs the call graph of the pass's package.
+// Build returns the call graph of the pass's package, constructing it
+// on first use and memoizing it on the pass's target: the graph is a
+// pure function of the package syntax, and five analyzers consume it,
+// so a shared run (cmd/schedlint) builds each package's graph once.
 func Build(pass *analysis.Pass) *Graph {
+	if pass.Cached != nil {
+		return pass.Cached("callgraph", func() any { return build(pass) }).(*Graph)
+	}
+	return build(pass)
+}
+
+// build constructs the graph unconditionally.
+func build(pass *analysis.Pass) *Graph {
 	g := &Graph{byFunc: make(map[*types.Func]*Node), byLit: make(map[*ast.FuncLit]*Node)}
 	// First pass: one node per declaration and per literal, so edges
 	// can resolve forward references.
@@ -152,7 +167,7 @@ func (g *Graph) wire(pass *analysis.Pass, n *Node) {
 				spawned[x.Call] = true
 			case *ast.DeferStmt:
 				if callee := g.resolve(pass, x.Call); callee != nil {
-					n.Calls = append(n.Calls, Edge{Callee: callee, Pos: x.Call.Pos(), Deferred: true})
+					n.Calls = append(n.Calls, Edge{Callee: callee, Pos: x.Call.Pos(), Site: x.Call, Deferred: true})
 				}
 				spawned[x.Call] = true // edge recorded above; skip the plain-call case
 			case *ast.CallExpr:
@@ -160,7 +175,7 @@ func (g *Graph) wire(pass *analysis.Pass, n *Node) {
 					return true // handled by the go/defer statement
 				}
 				if callee := g.resolve(pass, x); callee != nil {
-					n.Calls = append(n.Calls, Edge{Callee: callee, Pos: x.Pos(), Deferred: deferred})
+					n.Calls = append(n.Calls, Edge{Callee: callee, Pos: x.Pos(), Site: x, Deferred: deferred})
 				}
 			}
 			return true

@@ -1,0 +1,12 @@
+package chanlife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/chanlife"
+)
+
+func TestChanLife(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), chanlife.Analyzer, "mom")
+}

@@ -133,6 +133,10 @@ type FieldWrite struct {
 	// published object (receiver, parameter, captured variable) from
 	// initialization of a fresh local that nobody observes yet.
 	Root *types.Var
+	// Path is the full selector chain, Root first and Field last, so a
+	// guard declared on an intermediate field (`stats Stats // guarded
+	// by mu`) covers writes to the leaves reached through it.
+	Path []*types.Var
 	Pos  token.Pos
 }
 
@@ -146,8 +150,8 @@ func FieldWritesIn(info *types.Info, n ast.Node, tracked func(*types.Var) bool) 
 	}
 	var out []FieldWrite
 	note := func(e ast.Expr) {
-		if v, root := writtenField(info, e); v != nil && tracked(v) {
-			out = append(out, FieldWrite{Field: v, Root: root, Pos: e.Pos()})
+		if v, root, path := writtenField(info, e); v != nil && tracked(v) {
+			out = append(out, FieldWrite{Field: v, Root: root, Path: path, Pos: e.Pos()})
 		}
 	}
 	ast.Inspect(n, func(x ast.Node) bool {
@@ -176,7 +180,7 @@ func FieldWritesIn(info *types.Info, n ast.Node, tracked func(*types.Var) bool) 
 // — the field itself (s.f = x) or the field whose contents an element
 // write reaches through (s.f[k] = x, *s.f = x) — plus the root
 // variable of the selector chain.
-func writtenField(info *types.Info, e ast.Expr) (field, root *types.Var) {
+func writtenField(info *types.Info, e ast.Expr) (field, root *types.Var, path []*types.Var) {
 	for {
 		switch x := ast.Unparen(e).(type) {
 		case *ast.IndexExpr:
@@ -186,14 +190,14 @@ func writtenField(info *types.Info, e ast.Expr) (field, root *types.Var) {
 		case *ast.SelectorExpr:
 			path := SelectorPath(info, x)
 			if len(path) < 2 {
-				return nil, nil
+				return nil, nil, nil
 			}
 			if last := path[len(path)-1]; last.IsField() {
-				return last, path[0]
+				return last, path[0], path
 			}
-			return nil, nil
+			return nil, nil, nil
 		default:
-			return nil, nil
+			return nil, nil, nil
 		}
 	}
 }
@@ -281,6 +285,94 @@ func PathKey(path []*types.Var) string {
 		b.WriteString(strconv.Itoa(int(v.Pos())))
 	}
 	return b.String()
+}
+
+// FreshLocal reports whether v is a function-local variable whose
+// declaration initializes it with an object the function constructed
+// itself — a composite literal (optionally address-taken), new(T), or
+// a zero-value `var v T` declaration — so writes through it are
+// constructor initialization of unpublished state, not mutation anyone
+// else can observe. A local merely *aliasing* an existing object (a
+// field load, a function result, a parameter) is not fresh; neither is
+// a package-level variable.
+func FreshLocal(files []*ast.File, info *types.Info, pkg *types.Package, v *types.Var) bool {
+	if v == nil || (pkg != nil && v.Parent() == pkg.Scope()) {
+		return false
+	}
+	pos := v.Pos()
+	for _, f := range files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		fresh := false
+		found := false
+		ast.Inspect(f, func(x ast.Node) bool {
+			if found {
+				return false
+			}
+			switch x := x.(type) {
+			case *ast.AssignStmt:
+				if x.Tok != token.DEFINE || len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i, lhs := range x.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || info.Defs[id] != v {
+						continue
+					}
+					found = true
+					fresh = freshExpr(info, x.Rhs[i])
+					return false
+				}
+			case *ast.ValueSpec:
+				for i, name := range x.Names {
+					if info.Defs[name] != v {
+						continue
+					}
+					found = true
+					if i < len(x.Values) {
+						fresh = freshExpr(info, x.Values[i])
+					} else if len(x.Values) == 0 {
+						// `var v T` with no initializer: the zero value is
+						// the function's own construction. (A tuple
+						// initializer — len(Values) < len(Names) — is a
+						// call result, not fresh.)
+						fresh = true
+					}
+					return false
+				}
+			}
+			return true
+		})
+		return found && fresh
+	}
+	return false
+}
+
+// FreshExpr reports whether e constructs an object no one else holds:
+// a composite literal (optionally address-taken) or new(T). It is the
+// expression-level form of FreshLocal, for call arguments.
+func FreshExpr(info *types.Info, e ast.Expr) bool {
+	return freshExpr(info, e)
+}
+
+// freshExpr reports whether e constructs an object no one else holds:
+// a composite literal (optionally address-taken) or new(T).
+func freshExpr(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			_, isBuiltin := info.Uses[id].(*types.Builtin)
+			return isBuiltin
+		}
+	}
+	return false
 }
 
 // CalledFunc resolves the function or method a call invokes, in any

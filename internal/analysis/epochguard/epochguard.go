@@ -333,85 +333,11 @@ func (a *analyzer) transfer(st *egState, node ast.Node) {
 }
 
 // freshRoot reports whether the written object is one the function
-// created itself: a local initialized from a composite literal or
-// new(), an unpublished object nobody can observe yet (constructor
-// initialization, not a mutation). A local merely *aliasing* an
-// existing object — s := r.s(), a field load, a function result — is
-// not fresh: writes through it are as observable as writes through
-// the receiver.
+// created itself (see dataflow.FreshLocal): constructor
+// initialization of unpublished state is exempt from the bump
+// obligation.
 func (a *analyzer) freshRoot(root *types.Var) bool {
-	if root == nil || root.Parent() == a.pass.Pkg.Scope() {
-		return false
-	}
-	return freshInit(a.pass, root)
-}
-
-// freshInit locates v's declaration and reports whether its
-// initializer constructs a fresh object. Parameters and receivers are
-// declared in signatures, not in := statements or var specs, so they
-// always report false.
-func freshInit(pass *analysis.Pass, v *types.Var) bool {
-	pos := v.Pos()
-	for _, f := range pass.Files {
-		if pos < f.Pos() || pos > f.End() {
-			continue
-		}
-		fresh := false
-		found := false
-		ast.Inspect(f, func(x ast.Node) bool {
-			if found {
-				return false
-			}
-			switch x := x.(type) {
-			case *ast.AssignStmt:
-				if x.Tok != token.DEFINE || len(x.Lhs) != len(x.Rhs) {
-					return true
-				}
-				for i, lhs := range x.Lhs {
-					id, ok := lhs.(*ast.Ident)
-					if !ok || pass.TypesInfo.Defs[id] != v {
-						continue
-					}
-					found = true
-					fresh = freshExpr(pass, x.Rhs[i])
-					return false
-				}
-			case *ast.ValueSpec:
-				for i, name := range x.Names {
-					if pass.TypesInfo.Defs[name] != v {
-						continue
-					}
-					found = true
-					if i < len(x.Values) {
-						fresh = freshExpr(pass, x.Values[i])
-					}
-					return false
-				}
-			}
-			return true
-		})
-		return found && fresh
-	}
-	return false
-}
-
-// freshExpr reports whether e constructs an object no one else holds:
-// a composite literal (optionally address-taken) or new(T).
-func freshExpr(pass *analysis.Pass, e ast.Expr) bool {
-	e = ast.Unparen(e)
-	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
-		e = ast.Unparen(u.X)
-	}
-	switch x := e.(type) {
-	case *ast.CompositeLit:
-		return true
-	case *ast.CallExpr:
-		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
-			_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
-			return isBuiltin
-		}
-	}
-	return false
+	return dataflow.FreshLocal(a.pass.Files, a.pass.TypesInfo, a.pass.Pkg, root)
 }
 
 // applyCall folds one call's effect into the state: a bump-equivalent

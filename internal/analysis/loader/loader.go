@@ -48,6 +48,10 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
+	// TestsLoaded marks packages whose file set includes _test.go
+	// files (IncludeTests mode); RunAnalyzers uses it to filter
+	// test-file findings from analyzers that did not opt in.
+	TestsLoaded bool
 	// ParseErrors and TypeErrors collect problems without aborting the
 	// load; callers decide whether they are fatal.
 	ParseErrors []error
@@ -56,7 +60,10 @@ type Package struct {
 
 // Target adapts the package for analysis.RunAnalyzers.
 func (p *Package) Target() *analysis.Target {
-	return &analysis.Target{Fset: p.Fset, Files: p.Files, Pkg: p.Types, TypesInfo: p.TypesInfo}
+	return &analysis.Target{
+		Fset: p.Fset, Files: p.Files, Pkg: p.Types, TypesInfo: p.TypesInfo,
+		TestsLoaded: p.TestsLoaded,
+	}
 }
 
 // Loader loads and caches packages against one file set.
@@ -66,6 +73,16 @@ type Loader struct {
 	// LocalRoot/<import path> before consulting the module mapping.
 	// analysistest points it at a testdata/src directory.
 	LocalRoot string
+
+	// IncludeTests makes Load yield test-augmented packages: a package
+	// with in-package _test.go files is analyzed with those files
+	// included (in place of the plain package), and external test files
+	// become a separate "<path>_test" package. Plain packages are still
+	// loaded and cached first, so imports — including the external test
+	// package's import of the package under test — always resolve to
+	// the test-free variant. (The repo has no export_test.go files, so
+	// external tests never need test-only exports.)
+	IncludeTests bool
 
 	modulePath string
 	moduleDir  string
@@ -114,9 +131,49 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, p)
+		if !l.IncludeTests {
+			pkgs = append(pkgs, p)
+			continue
+		}
+		aug, xtest, err := l.loadTests(meta.ImportPath, meta.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if aug != nil {
+			// The augmented variant supersedes the plain package for
+			// analysis: same files plus the in-package tests. Reporting
+			// both would duplicate every finding in the shared files.
+			pkgs = append(pkgs, aug)
+		} else {
+			pkgs = append(pkgs, p)
+		}
+		if xtest != nil {
+			pkgs = append(pkgs, xtest)
+		}
 	}
 	return pkgs, nil
+}
+
+// loadTests builds the test-augmented variants of a package already
+// loaded by loadDir: the package re-checked with its in-package
+// TestGoFiles (nil if there are none), and the external test package
+// (nil likewise). Neither is cached under the import path — importers
+// must keep resolving to the plain package.
+func (l *Loader) loadTests(path, dir string) (aug, xtest *Package, err error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loader: %s: %v", path, err)
+	}
+	if len(bp.TestGoFiles) > 0 {
+		names := append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...)
+		aug = l.checkFiles(path, dir, names)
+		aug.TestsLoaded = true
+	}
+	if len(bp.XTestGoFiles) > 0 {
+		xtest = l.checkFiles(path+"_test", dir, bp.XTestGoFiles)
+		xtest.TestsLoaded = true
+	}
+	return aug, xtest, nil
 }
 
 // Lookup returns an already-loaded package by import path (nil when it
@@ -178,9 +235,17 @@ func (l *Loader) loadDir(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("loader: %s: %v", path, err)
 	}
+	p := l.checkFiles(path, dir, bp.GoFiles)
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// checkFiles parses and type-checks one file list as a package; parse
+// and type errors accumulate on the result instead of aborting.
+func (l *Loader) checkFiles(path, dir string, names []string) *Package {
 	p := &Package{ImportPath: path, Dir: dir, Fset: l.Fset}
 	var files []*ast.File
-	for _, name := range bp.GoFiles {
+	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if f != nil {
 			files = append(files, f)
@@ -204,8 +269,7 @@ func (l *Loader) loadDir(path, dir string) (*Package, error) {
 		Error:       func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
 	}
 	p.Types, _ = conf.Check(path, l.Fset, files, p.TypesInfo)
-	l.pkgs[path] = p
-	return p, nil
+	return p
 }
 
 // loaderImporter resolves imports during type checking: local packages

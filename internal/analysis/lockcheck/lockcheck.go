@@ -42,7 +42,12 @@ var daemonPkgs = map[string]bool{
 	"serverd": true, "mom": true, "mauid": true, "rms": true, "chaos": true,
 }
 
-var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+// guardedRe accepts two forms. `guarded by mu` names a sibling mutex:
+// the required lock is <same receiver expression>.mu. `guarded by
+// s.mu` — a dotted path — names the mutex by its habitual rendered
+// expression, for record structs (a jobInfo held in the server's map)
+// protected by their container's lock rather than one of their own.
+var guardedRe = regexp.MustCompile(`guarded by ([\w.]+)`)
 
 func lastElem(path string) string {
 	if i := strings.LastIndexByte(path, '/'); i >= 0 {
@@ -198,7 +203,12 @@ func checkFunc(pass *analysis.Pass, guarded map[*types.Var]string, name string, 
 		if !ok {
 			continue
 		}
-		need := types.ExprString(sel.X) + "." + mu
+		// A dotted annotation names the lock expression verbatim; a bare
+		// one names a sibling field of the same receiver.
+		need := mu
+		if !strings.Contains(mu, ".") {
+			need = types.ExprString(sel.X) + "." + mu
+		}
 		if !held[need] {
 			pass.Reportf(sel.Pos(), "access to %s (guarded by %s) in %s without %s held; lock it, rename the helper to ...Locked, or annotate //lint:locked <reason>", types.ExprString(sel), mu, name, need)
 		}

@@ -1,0 +1,12 @@
+package sharedguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sharedguard"
+)
+
+func TestSharedGuard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), sharedguard.Analyzer, "serverd")
+}

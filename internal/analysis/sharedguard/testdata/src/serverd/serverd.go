@@ -1,0 +1,179 @@
+// Package serverd is the sharedguard golden fixture: a miniature
+// daemon whose fields are written from several goroutine contexts,
+// in guarded, atomic, confined, and — the findings — undeclared
+// flavors.
+package serverd
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type server struct {
+	mu sync.Mutex
+
+	// hits has no declared guard and is written by both the monitor
+	// goroutine and the exported Poke.
+	hits int // want `field server.hits is written from 2 goroutine contexts`
+
+	// stamped is the same shape with the lockcheck guard declared.
+	stamped int // guarded by mu
+
+	// seq is the same shape, declared atomic.
+	seq atomic.Int64
+
+	// claims is written by every worker, but each worker owns a
+	// disjoint index range: a handoff protocol the checker cannot see.
+	claims []int //schedlint:confined worker i writes only claims[i], joined before any read
+
+	// lastErr is written from the monitor goroutine, from a callback
+	// literal that escapes into a field, and from Close: the escaped
+	// context counts once the monitor spawn makes a second goroutine
+	// real.
+	lastErr error // want `field server.lastErr is written from 3 goroutine contexts`
+
+	// journal is written from Close and from an escaped callback only:
+	// with no spawned writer there is no provable second goroutine, so
+	// the analyzer stays silent (the simulator's event-callback shape).
+	journal []string
+
+	// audited is shared the same way as hits, with the exception
+	// recorded in place.
+	//lint:shared sampled metric, torn reads acceptable by design
+	audited int
+
+	onDrop func()
+
+	// tr is handed to bumpTrack by both the poll goroutine and Kick:
+	// the parameter flow follows the object back to both contexts.
+	tr *track
+
+	// malformed confinement must name the owning goroutine.
+	solo int //schedlint:confined // want `malformed confined marker on solo`
+}
+
+// msg is the decoder-pattern record: decode writes its fields through
+// a pointer parameter, so the writes are charged to what each caller
+// passes — and every caller here hands it a goroutine-local
+// destination, so tag never becomes shared.
+type msg struct {
+	tag string
+}
+
+// track is written through a parameter too, but its callers pass the
+// server's own field: two real contexts.
+type track struct {
+	n int // want `field track.n is written from 2 goroutine contexts`
+}
+
+// newServer initializes everything on a fresh local before the
+// monitor spawn publishes it: handoff, not sharing.
+func newServer() *server {
+	s := &server{}
+	s.hits = 0
+	s.stamped = 0
+	s.lastErr = nil
+	go s.monitor()
+	go s.poll()
+	return s
+}
+
+func (s *server) monitor() {
+	for {
+		s.bump() // helper executes in the monitor context
+		s.mu.Lock()
+		s.stamped++
+		s.mu.Unlock()
+		s.seq.Add(1)
+		s.audited++
+		s.lastErr = nil
+	}
+}
+
+// bump writes hits; it is called from both the monitor goroutine and
+// the exported Poke, so hits needs a guard.
+func (s *server) bump() { s.hits++ }
+
+// Poke runs on the caller's goroutine (the main context).
+func (s *server) Poke() {
+	s.bump()
+	s.mu.Lock()
+	s.stamped++
+	s.mu.Unlock()
+	s.seq.Add(1)
+	s.audited++
+}
+
+// install stores a literal into a field: the checker cannot know which
+// goroutine will invoke it, so its writes count as their own context.
+func (s *server) install() {
+	s.onDrop = func() { s.lastErr = nil }
+}
+
+// Close writes lastErr and journal from the main context.
+func (s *server) Close() {
+	s.lastErr = nil
+	s.journal = nil
+}
+
+// defer-style callback: journal's only other writer escapes, never
+// spawns — silent by the spawn-writer rule.
+func (s *server) installJournal() {
+	s.onDrop = func() { s.journal = append(s.journal, "drop") }
+}
+
+// Run claims disjoint slots per worker — the serial tail also writes
+// slot 0 from the caller's goroutine, so without the confined marker
+// this is two contexts.
+func (s *server) Run(n int) {
+	s.claims[0] = -1
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			s.claims[i] = i
+		}()
+	}
+}
+
+// touchSolo writes solo from one context only; the malformed marker
+// is still reported.
+func (s *server) touchSolo() { s.solo = 1 }
+
+// decode writes through the type-switched parameter: the writes are
+// charged to the objects its callers pass, not to its callers'
+// goroutines.
+func (s *server) decode(dst any) {
+	switch d := dst.(type) {
+	case *msg:
+		d.tag = "x"
+	}
+}
+
+// reader decodes into a zero-value local from a spawned goroutine:
+// fresh destination, no sharing.
+func (s *server) reader() {
+	go func() {
+		var m msg
+		s.decode(&m)
+	}()
+}
+
+// Ingest decodes into a fresh local on the main context.
+func (s *server) Ingest() {
+	m := &msg{}
+	s.decode(m)
+}
+
+// bumpTrack writes through its parameter; poll (spawned in newServer)
+// and Kick both pass the server's shared tr field, so track.n is
+// written from two contexts even though bumpTrack itself never spawns.
+func (s *server) bumpTrack(t *track) { t.n++ }
+
+func (s *server) poll() {
+	for {
+		s.bumpTrack(s.tr)
+	}
+}
+
+// Kick runs on the caller's goroutine.
+func (s *server) Kick() { s.bumpTrack(s.tr) }
