@@ -15,7 +15,7 @@ type stamp struct {
 // separate cache lines so concurrent producers don't false-share.
 type shard struct {
 	mu  sync.Mutex
-	buf []stamp
+	buf []stamp // guarded by mu
 	_   [40]byte
 }
 

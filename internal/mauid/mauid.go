@@ -26,8 +26,8 @@ type Daemon struct {
 	srvAddr  string
 	sched    *core.Scheduler
 	interval time.Duration
-	closed   chan struct{}
-	done     chan struct{}
+	closed   chan struct{} //schedlint:chan-owner Close
+	done     chan struct{} //schedlint:chan-owner Start (the iteration goroutine defers the close on exit)
 
 	// Proto selects the wire codec for server connections (see
 	// proto.Mode); the zero value negotiates automatically. Set before

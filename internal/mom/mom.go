@@ -54,16 +54,18 @@ func lookupGoApp(name string) (GoApp, bool) {
 	return fn, ok
 }
 
-// momJob is the node-local state of one job.
+// momJob is the node-local state of one job. Records live in the
+// m.mu-guarded jobs map and share that lock: the TM handler
+// goroutines, the server read loop, and Close all mutate them.
 type momJob struct {
 	id     int
 	spec   proto.JobSpec
-	hosts  []proto.HostSlice
+	hosts  []proto.HostSlice // guarded by m.mu
 	isMS   bool
 	cancel context.CancelFunc
 	// pendingTM is the parked application connection awaiting a
 	// tm_dynget verdict from the server.
-	pendingTM *proto.Conn
+	pendingTM *proto.Conn // guarded by m.mu
 }
 
 // outMsg is one undelivered server message parked for replay: a job
@@ -110,7 +112,7 @@ type Mom struct {
 	outbox []outMsg        // guarded by mu: undelivered completions awaiting replay
 
 	wg     sync.WaitGroup
-	closed chan struct{}
+	closed chan struct{} //schedlint:chan-owner Close
 
 	// Verbose enables lightweight logging to stderr.
 	Verbose bool

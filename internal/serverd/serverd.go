@@ -87,34 +87,38 @@ type Options struct {
 	Verbose bool
 }
 
-// jobInfo is the server-side record of one job.
+// jobInfo is the server-side record of one job. The record lives in
+// the jobs map and shares its lock: every mutable field is guarded by
+// the server mutex, written from the scheduler loop, the ingest
+// shards, and the walltime/negotiation timer callbacks.
 type jobInfo struct {
 	j         *job.Job
 	spec      proto.JobSpec
-	hosts     []proto.HostSlice
-	msNode    string // mother superior node name
-	killTimer *time.Timer
-	negTimer  *time.Timer // negotiation deadline; stopped when the dyn request resolves
-	dynGrant  sim.Time
-	granted   bool
+	hosts     []proto.HostSlice // guarded by s.mu
+	msNode    string            // guarded by s.mu: mother superior node name
+	killTimer *time.Timer       // guarded by s.mu
+	negTimer  *time.Timer       // guarded by s.mu: negotiation deadline; stopped when the dyn request resolves
+	dynGrant  sim.Time          // guarded by s.mu
+	granted   bool              // guarded by s.mu
 	// fsID is the user's share-tree leaf, interned once at submit so
 	// completion-path usage accounting is an O(1) sharded append
 	// instead of a string-map lookup under the server mutex.
 	fsID fairtree.NodeID
 }
 
-// nodeInfo mirrors one registered mom.
+// nodeInfo mirrors one registered mom. Like jobInfo, the record is
+// reached through an s.mu-guarded map and inherits that lock.
 type nodeInfo struct {
 	node     *cluster.Node
-	addr     string
-	conn     *proto.Conn
-	shard    int      // ingest worker index; fixed at first registration
-	lastSeen sim.Time // server-virtual time of the last message from this mom
+	addr     string      // guarded by s.mu
+	conn     *proto.Conn // guarded by s.mu
+	shard    int         // ingest worker index; fixed at first registration
+	lastSeen sim.Time    // guarded by s.mu: server-virtual time of the last message from this mom
 	// verdicts buffers dyn grant/reject answers that could not be
 	// delivered (link down, send failure); they replay in order on
 	// the mom's re-registration so a blocked tm_dynget always
 	// resolves.
-	verdicts []proto.DynGetResp
+	verdicts []proto.DynGetResp // guarded by s.mu
 }
 
 // Server is the live daemon.
@@ -150,7 +154,7 @@ type Server struct {
 	rec      *metrics.Recorder        // guarded by mu
 
 	kick   chan struct{}
-	closed chan struct{}
+	closed chan struct{} //schedlint:chan-owner Close
 	wg     sync.WaitGroup
 }
 
@@ -840,8 +844,8 @@ func (s *Server) sweepBeacons() {
 		if ni == nil {
 			return
 		}
-		if b.at > ni.lastSeen {
-			ni.lastSeen = b.at
+		if b.at > ni.lastSeen { //lint:locked the drain callback runs synchronously under the s.mu.Lock above
+			ni.lastSeen = b.at //lint:locked the drain callback runs synchronously under the s.mu.Lock above
 		}
 		if s.opts.OnBeacon != nil && b.sent > 0 {
 			lags = append(lags, time.Duration(nowMS-b.sent)*time.Millisecond)
