@@ -70,7 +70,9 @@ func TestV2NegotiationAndPayloads(t *testing.T) {
 		t.Errorf("heartbeat round trip: %+v != %+v", gotHB, hb)
 	}
 
-	reg := proto.RegisterReq{Node: "n3", Addr: "127.0.0.1:9999", Cores: 16, Jobs: []int{3, -9, 1 << 40}}
+	// 1<<30 keeps the varint multi-byte while still fitting int on
+	// 32-bit builds (the GOARCH=386 CI step vets tests too).
+	reg := proto.RegisterReq{Node: "n3", Addr: "127.0.0.1:9999", Cores: 16, Jobs: []int{3, -9, 1 << 30}}
 	var gotReg proto.RegisterReq
 	trip(t, ca, cb, proto.TRegister, reg, &gotReg)
 	if !reflect.DeepEqual(gotReg, reg) {
